@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each module in this directory regenerates one table or figure from the
+paper at simulation scale: it runs the experiment grid once (via
+``bench_once`` so pytest-benchmark records the wall time), prints the
+paper-style table, and asserts the paper's qualitative *shape* — who wins,
+by roughly what factor, where the crossovers fall. Absolute magnitudes
+belong to the authors' testbed, not to this simulator.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def bench_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic simulations — repeated rounds would
+    measure the host, not the system under study.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a results table so ``-s`` (or the captured report) shows it."""
+    sys.stdout.write("\n" + text + "\n")

@@ -1,0 +1,67 @@
+"""Extension: stop-and-copy migration cost and post-migration warmup.
+
+§5.2 lists live migration as future work (NIC state cannot move). The
+memory-image half is implemented in ``repro.core.migration``; this bench
+measures what a deployment would care about: downtime scales with the
+image, the restored node is correct, and its warmup is pure demand paging
+whose cost shrinks as the new node gets more local memory.
+"""
+
+import pytest
+
+from conftest import bench_once, emit
+
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core import DilosConfig
+from repro.core.migration import checkpoint, restore
+from repro.harness import format_table, make_system
+
+
+def run_one(ws_mib):
+    source = make_system("dilos-readahead", 1 * MIB)
+    region = source.mmap(ws_mib * MIB, name="app")
+    pages = region.size // PAGE_SIZE
+    for i in range(pages):
+        source.memory.write(region.base + i * PAGE_SIZE,
+                            i.to_bytes(4, "little") * 8)
+    image = checkpoint(source)
+    warmups = {}
+    for target_mib in (1, 2 * ws_mib):
+        target = restore(image, DilosConfig(local_mem_bytes=target_mib * MIB,
+                                            remote_mem_bytes=64 * MIB))
+        t0 = target.clock.now
+        for i in range(pages):
+            got = target.memory.read(region.base + i * PAGE_SIZE, 32)
+            assert got == i.to_bytes(4, "little") * 8, "migration corrupted data"
+        warmups[target_mib] = target.clock.now - t0
+    return image, warmups
+
+
+def measure():
+    out = {}
+    for ws_mib in (2, 4, 8):
+        image, warmups = run_one(ws_mib)
+        out[ws_mib] = (image.image_bytes, image.downtime_us, warmups)
+    return out
+
+
+def test_ext_migration_cost(benchmark):
+    results = bench_once(benchmark, measure)
+    rows = []
+    for ws_mib, (image_bytes, downtime, warmups) in results.items():
+        rows.append([f"{ws_mib} MiB", image_bytes // 1024, downtime / 1000,
+                     min(warmups.values()) / 1000, max(warmups.values()) / 1000])
+    emit(format_table(
+        "Extension: stop-and-copy migration",
+        ["working set", "image (KiB)", "downtime (ms)",
+         "warmup best (ms)", "warmup worst (ms)"], rows))
+
+    downtimes = [results[ws][1] for ws in (2, 4, 8)]
+    # Downtime scales roughly linearly with the image.
+    assert downtimes[0] < downtimes[1] < downtimes[2]
+    assert downtimes[2] / downtimes[0] == pytest.approx(4.0, rel=0.3)
+    # A bigger target cache warms up at least as fast (fewer re-evictions).
+    for _ws, (_bytes, _dt, warmups) in results.items():
+        small, big = warmups[1], max(w for k, w in warmups.items() if k != 1)
+        assert big <= small * 1.05
+

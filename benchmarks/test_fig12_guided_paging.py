@@ -1,0 +1,65 @@
+"""Figure 12: wire bandwidth during DEL and GET with guided paging.
+
+Paper: populate small values, DEL ~70% of the keyspace (leaving pages
+full of dead chunks), then serve GETs. The allocator guide's vectorized
+(<=3-segment) transfers cut bandwidth by ~12% during the DEL phase and
+~29% during the GET phase.
+"""
+
+from conftest import bench_once, emit
+
+from repro.common.units import MIB
+from repro.harness import format_table, local_bytes_for, make_system
+from repro.alloc import Mimalloc, MimallocGuide
+from repro.apps.redis import DelGetWorkload, RedisServer
+
+RATIO = 0.25  # the paper limits local memory to ~25% of post-DEL usage
+
+
+def run(guided: bool):
+    workload = DelGetWorkload(n_keys=8000, value_bytes=128, n_queries=2500)
+    system = make_system("dilos-none",
+                         local_bytes_for(workload.footprint_bytes, RATIO),
+                         remote_bytes=512 * MIB, guided_paging=guided)
+    alloc = Mimalloc(system, arena_bytes=256 * MIB)
+    if guided:
+        system.kernel.register_allocator_guide(MimallocGuide(alloc))
+    server = RedisServer(system, alloc)
+    workload.populate(server)
+    system.clock.advance(5000)
+    stats = system.kernel.comm.stats
+    del_start = stats.total_bytes
+    t_del_start = system.clock.now
+    workload.run_del_phase(server)
+    system.clock.advance(8000)  # let cleaning/eviction drain
+    del_bytes = stats.total_bytes - del_start
+    get_start = stats.total_bytes
+    workload.run_get_phase(server)
+    get_bytes = stats.total_bytes - get_start
+    return del_bytes, get_bytes
+
+
+def measure():
+    return {"guided": run(True), "baseline": run(False)}
+
+
+def test_fig12_guided_paging_bandwidth(benchmark):
+    results = bench_once(benchmark, measure)
+    base_del, base_get = results["baseline"]
+    guided_del, guided_get = results["guided"]
+    emit(format_table(
+        "Figure 12: wire traffic during DEL / GET phases (bytes)",
+        ["config", "DEL phase", "GET phase"],
+        [["full-page paging", base_del, base_get],
+         ["guided paging", guided_del, guided_get],
+         ["reduction %", 100 * (1 - guided_del / base_del),
+          100 * (1 - guided_get / base_get)]]))
+
+    # DEL-phase traffic shrinks (paper: ~12%; here ~5%, since our DEL
+    # only reads headers while Redis also rewrites in-page metadata).
+    assert guided_del < 0.98 * base_del
+    # GET-phase traffic shrinks more (paper: ~29%) — fetches carry only
+    # the live ~30% of each page, vector-capped at three segments.
+    assert guided_get < 0.85 * base_get
+    # And the GET reduction exceeds the DEL reduction, as in the figure.
+    assert (1 - guided_get / base_get) > (1 - guided_del / base_del)

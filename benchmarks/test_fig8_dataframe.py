@@ -1,0 +1,63 @@
+"""Figure 8: NYC-taxi analytics on the DataFrame library.
+
+Paper shape: with ample memory (100%) AIFM is 50-83% slower than the
+others (dereference checks); DiLOS beats AIFM by up to 54% (and even
+DiLOS-TCP by ~14%); Fastswap's completion more than doubles as local
+memory shrinks to 12.5% while DiLOS and AIFM degrade only mildly. All
+systems must compute identical answers.
+"""
+
+from conftest import bench_once, emit
+
+from repro.harness import local_bytes_for, make_system, ratio_table
+from repro.harness.experiment import Measurement, pick, sweep_ratios
+from repro.apps.dataframe import TaxiAnalyticsWorkload
+
+SYSTEMS = ("fastswap", "dilos-readahead", "dilos-tcp", "aifm")
+RATIOS = (0.125, 0.25, 0.50, 1.0)
+ROWS = 1 << 16
+
+
+def run_grid():
+    answers = {}
+
+    def runner(kind, ratio):
+        workload = TaxiAnalyticsWorkload(rows=ROWS)
+        system = make_system(kind, local_bytes_for(workload.footprint_bytes,
+                                                   ratio))
+        result = (workload.run_aifm(system) if kind.startswith("aifm")
+                  else workload.run(system))
+        answers.setdefault("reference", result.answers)
+        for key, value in answers["reference"].items():
+            got = result.answers[key]
+            if abs(got - value) > 1e-6 * max(1.0, abs(value)):
+                raise AssertionError(
+                    f"{kind}@{ratio} disagrees on {key}: {got} vs {value}")
+        return Measurement("", "", 0.0, value=result.elapsed_us / 1000.0,
+                           unit="ms")
+
+    return sweep_ratios("taxi", runner, SYSTEMS, RATIOS)
+
+
+def test_fig8_dataframe_taxi(benchmark):
+    ms = bench_once(benchmark, run_grid)
+    emit(ratio_table("Figure 8: NYC taxi on DataFrame, completion time", ms))
+
+    # 100% local: AIFM pays deref checks — slower than every paging system
+    # (paper: 50-83% slower).
+    aifm_full = pick(ms, "aifm", 1.0).value
+    for kind in ("fastswap", "dilos-readahead", "dilos-tcp"):
+        assert aifm_full > 1.2 * pick(ms, kind, 1.0).value
+    # 12.5%: DiLOS beats AIFM (paper: up to 54%); DiLOS-TCP also ahead.
+    assert pick(ms, "dilos-readahead", 0.125).value < \
+        pick(ms, "aifm", 0.125).value
+    assert pick(ms, "dilos-tcp", 0.125).value < pick(ms, "aifm", 0.125).value
+    # Fastswap's completion more than doubles across the sweep; DiLOS and
+    # AIFM degrade far more gently.
+    fast_degr = pick(ms, "fastswap", 0.125).value / pick(ms, "fastswap", 1.0).value
+    dilos_degr = (pick(ms, "dilos-readahead", 0.125).value
+                  / pick(ms, "dilos-readahead", 1.0).value)
+    aifm_degr = pick(ms, "aifm", 0.125).value / aifm_full
+    assert fast_degr > 2.0
+    assert dilos_degr < 0.75 * fast_degr
+    assert aifm_degr < 0.75 * fast_degr

@@ -1,0 +1,78 @@
+"""Table 4: tail latency of GET (mixed) and LRANGE, memory-constrained.
+
+Paper (ms, 2.5 GB local): Fastswap worst everywhere (GET p99 10.0,
+LRANGE p99 25.8); DiLOS-no-prefetch cuts both; prefetchers cut GET tails
+further (3.0); only the app-aware guide cuts the LRANGE tail (25.8 ->
+14.6, 28% below Fastswap and 18% below the other DiLOS variants).
+"""
+
+from conftest import bench_once, emit
+
+from repro.common.units import MIB
+from repro.harness import format_table, local_bytes_for, make_system
+from repro.alloc import Mimalloc
+from repro.apps.redis import (
+    GetWorkload,
+    LRangeWorkload,
+    RedisPrefetchGuide,
+    RedisServer,
+)
+
+VARIANTS = ("fastswap", "dilos-none", "dilos-readahead", "dilos-trend",
+            "dilos-app-aware")
+RATIO = 0.125
+
+
+def build_server(variant, footprint):
+    guide = None
+    kind = variant
+    if variant == "dilos-app-aware":
+        kind = "dilos-readahead"
+        guide = RedisPrefetchGuide()
+    system = make_system(kind, local_bytes_for(footprint, RATIO),
+                         remote_bytes=512 * MIB)
+    return RedisServer(system, Mimalloc(system, arena_bytes=256 * MIB),
+                       guide=guide)
+
+
+def measure():
+    tails = {}
+    for variant in VARIANTS:
+        get_wl = GetWorkload(value_size="mixed", n_keys=220, n_queries=900)
+        server = build_server(variant, get_wl.footprint_bytes)
+        get_wl.populate(server)
+        server.system.clock.advance(5000)
+        get_stats = get_wl.run(server)
+        lr_wl = LRangeWorkload(n_lists=400, elems_per_list=64, n_queries=900)
+        server = build_server(variant, lr_wl.footprint_bytes)
+        lr_wl.populate(server)
+        server.system.clock.advance(5000)
+        lr_stats = lr_wl.run(server)
+        tails[variant] = (get_stats.latencies.pct(99),
+                          get_stats.latencies.pct(99.9),
+                          lr_stats.latencies.pct(99),
+                          lr_stats.latencies.pct(99.9))
+    return tails
+
+
+def test_table4_tail_latency(benchmark):
+    tails = bench_once(benchmark, measure)
+    emit(format_table(
+        "Table 4: tail latency, 12.5% local (us)",
+        ["system", "GET p99", "GET p99.9", "LRANGE p99", "LRANGE p99.9"],
+        [[v, *tails[v]] for v in VARIANTS]))
+
+    fast = tails["fastswap"]
+    none = tails["dilos-none"]
+    ra = tails["dilos-readahead"]
+    aware = tails["dilos-app-aware"]
+    # Fastswap has the worst tails across the board.
+    for variant in VARIANTS[1:]:
+        assert tails[variant][0] < fast[0], variant  # GET p99
+        assert tails[variant][2] < fast[2], variant  # LRANGE p99
+    # Prefetchers cut the GET tail below no-prefetch (paper: 6.2 -> 3.0).
+    assert ra[0] < none[0]
+    # Only the app-aware guide cuts the LRANGE tail below the
+    # general-purpose prefetchers (paper: 18.0 -> 14.6).
+    assert aware[2] < 0.95 * ra[2]
+    assert aware[2] < 0.80 * fast[2]

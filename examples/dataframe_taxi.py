@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""NYC-taxi analytics on far memory: DiLOS vs Fastswap vs AIFM (Figure 8).
+
+Runs the same six-query analytics job (derive trip duration, aggregate by
+passenger count, filter long trips, fare statistics, distance/fare
+covariance) on a synthetic taxi-shaped data set across three systems and
+two local-memory ratios, verifying that every system computes identical
+answers — the compatibility story in one table.
+
+Run:  python examples/dataframe_taxi.py
+"""
+
+from repro.harness import local_bytes_for, make_system
+from repro.apps.dataframe import TaxiAnalyticsWorkload
+
+SYSTEMS = ("fastswap", "dilos-readahead", "dilos-tcp", "aifm")
+RATIOS = (0.125, 1.0)
+ROWS = 1 << 16
+
+
+def main() -> None:
+    workload = TaxiAnalyticsWorkload(rows=ROWS)
+    print(f"analytics over {ROWS:,} synthetic taxi trips "
+          f"({workload.footprint_bytes // (1 << 20)} MiB of columns)\n")
+    reference = None
+    print(f"{'system':18s} " + " ".join(f"{int(r * 100):>3d}% local (ms)"
+                                        for r in RATIOS))
+    for kind in SYSTEMS:
+        cells = []
+        for ratio in RATIOS:
+            system = make_system(
+                kind, local_bytes_for(workload.footprint_bytes, ratio))
+            result = (workload.run_aifm(system) if kind.startswith("aifm")
+                      else workload.run(system))
+            if reference is None:
+                reference = result.answers
+            for key, value in reference.items():
+                got = result.answers[key]
+                assert abs(got - value) <= 1e-6 * max(1.0, abs(value)), \
+                    f"{kind} disagrees on {key}"
+            cells.append(result.elapsed_us / 1000.0)
+        print(f"{kind:18s} " + " ".join(f"{c:>14.2f}" for c in cells))
+
+    print("\nanswers (identical on every system):")
+    for key, value in reference.items():
+        print(f"  {key:22s} {value:,.3f}")
+    print("\n-> AIFM pays dereference checks even at 100% local memory;")
+    print("   Fastswap collapses at 12.5%; DiLOS runs the unmodified code")
+    print("   and stays close to its full-memory time (the paper's claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Writing your own app-aware prefetch guide — the Figure 5 pattern.
+
+A linked list whose nodes each live on a different page is the worst case
+for general-purpose prefetchers: the next page is named by a pointer
+*inside* the current page. The paper's answer (§4.3): on a fault, issue a
+tiny *subpage* fetch for just the node struct on the guide's own queue —
+it arrives ~0.6 us before the full 4 KiB page — read the ``next`` pointer
+out of it, and prefetch the next page early, recursively.
+
+This example builds that list, traverses it with and without the guide,
+and prints the speedup.
+
+Run:  python examples/linked_list_guide.py
+"""
+
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core import DilosConfig, DilosSystem, GuideContext, PrefetchGuide
+
+NODES = 1024
+NODE_BYTES = 16  # [next: u64][value: u64]
+CHAIN_DEPTH = 4
+
+
+def build_list(system, region):
+    """One node per page, shuffled so page order != list order."""
+    import random
+    rng = random.Random(7)
+    pages = list(range(NODES))
+    rng.shuffle(pages)
+    node_vas = [region.base + p * PAGE_SIZE for p in pages]
+    for i, va in enumerate(node_vas):
+        next_va = node_vas[i + 1] if i + 1 < NODES else 0
+        system.memory.write(va, next_va.to_bytes(8, "little")
+                            + (i * 3).to_bytes(8, "little"))
+    return node_vas[0]
+
+
+def traverse(system, head):
+    """The application: plain pointer chasing, no guide knowledge."""
+    total = 0
+    node = head
+    while node:
+        raw = system.memory.read(node, NODE_BYTES)
+        system.cpu_cycles(40)  # per-node work
+        node = int.from_bytes(raw[:8], "little")
+        total += int.from_bytes(raw[8:], "little")
+    return total
+
+
+class LinkedListGuide(PrefetchGuide):
+    """The guide: chases `next` pointers via subpage fetches (Figure 5)."""
+
+    def __init__(self):
+        self.chased = set()
+
+    def on_fault(self, ctx: GuideContext, va: int) -> bool:
+        self._chase(ctx, va - (va % PAGE_SIZE) + (va % PAGE_SIZE), CHAIN_DEPTH)
+        return True  # claimed: skip the general-purpose prefetcher
+
+    def _chase(self, ctx, node_va, depth):
+        if depth <= 0 or node_va == 0 or node_va in self.chased:
+            return
+        self.chased.add(node_va)
+
+        def on_node(raw: bytes) -> None:
+            next_va = int.from_bytes(raw[:8], "little")
+            if next_va:
+                ctx.prefetch_page(next_va)          # full page, early
+                self._chase(ctx, next_va, depth - 1)  # keep running ahead
+
+        ctx.fetch_subpage(node_va, 8, on_node)      # just the next pointer
+
+
+def run(with_guide: bool) -> float:
+    system = DilosSystem(DilosConfig(local_mem_bytes=1 * MIB,
+                                     remote_mem_bytes=64 * MIB,
+                                     prefetcher="readahead"))
+    region = system.mmap(NODES * PAGE_SIZE, name="list")
+    head = build_list(system, region)
+    if with_guide:
+        system.kernel.register_prefetch_guide(LinkedListGuide())
+    # Spill the list out of the 1 MiB local cache.
+    scratch = system.mmap(2 * MIB, name="scratch")
+    for i in range(scratch.size // PAGE_SIZE):
+        system.memory.write(scratch.base + i * PAGE_SIZE, b"x")
+    system.clock.advance(5000)
+
+    t0 = system.clock.now
+    checksum = traverse(system, head)
+    elapsed = system.clock.now - t0
+    expected = sum(i * 3 for i in range(NODES))
+    assert checksum == expected, "traversal returned wrong data"
+    return elapsed
+
+
+def main() -> None:
+    baseline = run(with_guide=False)
+    guided = run(with_guide=True)
+    print(f"traverse {NODES} far-memory nodes (one per page):")
+    print(f"  general-purpose readahead : {baseline / 1000:.2f} ms")
+    print(f"  app-aware linked-list guide: {guided / 1000:.2f} ms")
+    print(f"  speedup: {baseline / guided:.2f}x")
+    assert guided < baseline
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""DiLOS (EuroSys '23) reproduction on a simulated disaggregated machine.
+
+Public entry points:
+
+* :class:`repro.core.DilosSystem` — the paper's system.
+* :class:`repro.baselines.fastswap.FastswapSystem` — the kernel-paging
+  baseline.
+* :class:`repro.baselines.aifm.AifmRuntime` — the user-level baseline.
+* :func:`repro.harness.make_system` — build any of them by name.
+
+See ``README.md`` for the architecture and ``DESIGN.md`` for how the
+simulation substitutes for the paper's hardware.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import DilosConfig, DilosSystem
+from repro.baselines.aifm import AifmConfig, AifmRuntime
+from repro.baselines.fastswap import FastswapConfig, FastswapSystem
+
+__all__ = [
+    "AifmConfig",
+    "AifmRuntime",
+    "DilosConfig",
+    "DilosSystem",
+    "FastswapConfig",
+    "FastswapSystem",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""User-level memory allocation: bitmap-tracking mimalloc (§4.4 guide base)."""
+
+from repro.alloc.bitmap import Bitmap
+from repro.alloc.mimalloc import (
+    GRANULE,
+    Mimalloc,
+    MimallocGuide,
+    SIZE_CLASSES,
+    size_class_for,
+)
+
+__all__ = [
+    "Bitmap",
+    "GRANULE",
+    "Mimalloc",
+    "MimallocGuide",
+    "SIZE_CLASSES",
+    "size_class_for",
+]

@@ -1,0 +1,89 @@
+"""Fixed-size bitmaps with run iteration.
+
+The §4.4 allocator guide tracks live object chunks with one bitmap per
+4 KiB page at 16-byte granularity (256 bits); ``runs()`` turns the set bits
+back into the byte ranges the scatter-gather path transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class Bitmap:
+    """A simple bit vector over ``nbits`` bits."""
+
+    def __init__(self, nbits: int) -> None:
+        if nbits <= 0:
+            raise ValueError("bitmap needs at least one bit")
+        self.nbits = nbits
+        self._bits = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.nbits:
+            raise IndexError(f"bit {index} out of range [0, {self.nbits})")
+
+    def set(self, index: int) -> None:
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._bits >> index & 1)
+
+    def set_range(self, start: int, count: int) -> None:
+        if count < 0:
+            raise ValueError("negative count")
+        if count == 0:
+            return
+        self._check(start)
+        self._check(start + count - 1)
+        self._bits |= ((1 << count) - 1) << start
+
+    def clear_range(self, start: int, count: int) -> None:
+        if count < 0:
+            raise ValueError("negative count")
+        if count == 0:
+            return
+        self._check(start)
+        self._check(start + count - 1)
+        self._bits &= ~(((1 << count) - 1) << start)
+
+    def popcount(self) -> int:
+        return bin(self._bits).count("1")
+
+    def any(self) -> bool:
+        return self._bits != 0
+
+    def all(self) -> bool:
+        return self._bits == (1 << self.nbits) - 1
+
+    def find_first_clear(self) -> int:
+        """Index of the lowest clear bit, or -1 if full."""
+        inverted = ~self._bits & ((1 << self.nbits) - 1)
+        if inverted == 0:
+            return -1
+        return (inverted & -inverted).bit_length() - 1
+
+    def runs(self) -> Iterator[Tuple[int, int]]:
+        """Yield maximal ``(start, count)`` runs of set bits, in order."""
+        bits = self._bits
+        index = 0
+        while bits:
+            # Skip clear bits (count trailing zeros).
+            tz = (bits & -bits).bit_length() - 1
+            index += tz
+            bits >>= tz
+            # Count trailing ones: bits+1 flips exactly the trailing-one run.
+            run = (~bits & (bits + 1)).bit_length() - 1
+            yield index, run
+            index += run
+            bits >>= run
+
+    def as_ranges(self, granule: int) -> List[Tuple[int, int]]:
+        """Set-bit runs scaled to byte ranges of ``granule`` bytes/bit."""
+        return [(start * granule, count * granule) for start, count in self.runs()]

@@ -1,0 +1,199 @@
+"""A mimalloc-style user-level allocator over disaggregated memory.
+
+Mirrors the structure DiLOS' allocator guide relies on (§4.4, §5):
+
+* small allocations come from size-class pages — one 4 KiB page serves one
+  size class through a per-page free list (mimalloc's "free list sharding");
+* every page carries a live-chunk bitmap at 16-byte granularity; this is
+  the bitmap the paper added to mimalloc (951 modified LoC) so the cleaner
+  can transfer only live bytes;
+* large allocations (> 2048 B) take dedicated page spans whose bitmaps are
+  set exactly over the allocated bytes.
+
+Allocator *metadata* (free lists, size tables) lives off-page, so page
+contents are purely application data; freed chunks therefore come back as
+zeros after a guided round trip, which tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import PAGE_SHIFT, PAGE_SIZE, align_up
+from repro.alloc.bitmap import Bitmap
+from repro.core.guides import AllocatorGuide
+
+#: Live-chunk tracking granularity (bits per 16 bytes: 256 bits/page).
+GRANULE = 16
+_BITS_PER_PAGE = PAGE_SIZE // GRANULE
+
+#: Small-object size classes, mimalloc-flavoured.
+SIZE_CLASSES = (16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048)
+_LARGE_THRESHOLD = SIZE_CLASSES[-1]
+
+
+def size_class_for(size: int) -> int:
+    """Smallest size class holding ``size`` bytes."""
+    for cls in SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    raise ValueError(f"{size} is not a small allocation")
+
+
+class _ClassPage:
+    """One 4 KiB page dedicated to a single size class."""
+
+    def __init__(self, base_va: int, size_class: int) -> None:
+        self.base_va = base_va
+        self.size_class = size_class
+        self.slots = PAGE_SIZE // size_class
+        self.free_slots = list(range(self.slots - 1, -1, -1))
+
+    @property
+    def full(self) -> bool:
+        return not self.free_slots
+
+    @property
+    def empty(self) -> bool:
+        return len(self.free_slots) == self.slots
+
+
+class Mimalloc:
+    """Size-class allocator over a DDC arena region."""
+
+    def __init__(self, system, arena_bytes: int, name: str = "mimalloc-arena") -> None:
+        self._system = system
+        self.region = system.mmap(arena_bytes, ddc=True, name=name)
+        self._bump = self.region.base
+        self._free_pages: List[int] = []
+        self._class_pages: Dict[int, List[_ClassPage]] = {c: [] for c in SIZE_CLASSES}
+        self._page_of: Dict[int, _ClassPage] = {}
+        #: va -> requested size, for free() and introspection.
+        self._allocations: Dict[int, int] = {}
+        #: vpn -> live-chunk bitmap (the guide's input).
+        self._bitmaps: Dict[int, Bitmap] = {}
+        self.allocated_bytes = 0
+
+    # -- page provisioning ----------------------------------------------------
+
+    def _take_page(self) -> int:
+        """A fresh (or recycled) page VA from the arena."""
+        if self._free_pages:
+            return self._free_pages.pop()
+        if self._bump + PAGE_SIZE > self.region.end:
+            raise OutOfMemoryError("allocator arena exhausted")
+        va = self._bump
+        self._bump += PAGE_SIZE
+        return va
+
+    def _bitmap(self, vpn: int) -> Bitmap:
+        bitmap = self._bitmaps.get(vpn)
+        if bitmap is None:
+            bitmap = Bitmap(_BITS_PER_PAGE)
+            self._bitmaps[vpn] = bitmap
+        return bitmap
+
+    def _mark(self, va: int, size: int, live: bool) -> None:
+        """Flip the live bits covering ``[va, va+size)``."""
+        cursor = va
+        remaining = size
+        while remaining > 0:
+            vpn = cursor >> PAGE_SHIFT
+            offset = cursor & (PAGE_SIZE - 1)
+            length = min(PAGE_SIZE - offset, remaining)
+            first_bit = offset // GRANULE
+            nbits = (offset + length + GRANULE - 1) // GRANULE - first_bit
+            bitmap = self._bitmap(vpn)
+            if live:
+                bitmap.set_range(first_bit, nbits)
+            else:
+                bitmap.clear_range(first_bit, nbits)
+            cursor += length
+            remaining -= length
+
+    # -- public API ------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes of disaggregated memory; returns the VA."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if size <= _LARGE_THRESHOLD:
+            va = self._malloc_small(size)
+        else:
+            va = self._malloc_large(size)
+        self._allocations[va] = size
+        self.allocated_bytes += size
+        self._mark(va, size, live=True)
+        return va
+
+    def _malloc_small(self, size: int) -> int:
+        cls = size_class_for(size)
+        pages = self._class_pages[cls]
+        page = next((p for p in pages if not p.full), None)
+        if page is None:
+            page = _ClassPage(self._take_page(), cls)
+            pages.append(page)
+            self._page_of[page.base_va >> PAGE_SHIFT] = page
+        slot = page.free_slots.pop()
+        return page.base_va + slot * cls
+
+    def _malloc_large(self, size: int) -> int:
+        npages = align_up(size) >> PAGE_SHIFT
+        # Large spans must be contiguous; take them from the bump frontier.
+        if self._bump + npages * PAGE_SIZE > self.region.end:
+            raise OutOfMemoryError("allocator arena exhausted")
+        va = self._bump
+        self._bump += npages * PAGE_SIZE
+        return va
+
+    def free(self, va: int) -> None:
+        """Release an allocation made by :meth:`malloc`."""
+        size = self._allocations.pop(va, None)
+        if size is None:
+            raise ValueError(f"free of unallocated address {va:#x}")
+        self.allocated_bytes -= size
+        self._mark(va, size, live=False)
+        if size <= _LARGE_THRESHOLD:
+            vpn = va >> PAGE_SHIFT
+            page = self._page_of[vpn]
+            slot = (va - page.base_va) // page.size_class
+            page.free_slots.append(slot)
+            if page.empty:
+                self._class_pages[page.size_class].remove(page)
+                del self._page_of[vpn]
+                self._free_pages.append(page.base_va)
+        else:
+            npages = align_up(size) >> PAGE_SHIFT
+            for i in range(npages):
+                self._free_pages.append(va + i * PAGE_SIZE)
+
+    def allocation_size(self, va: int) -> Optional[int]:
+        return self._allocations.get(va)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocations)
+
+    # -- the guide's view ----------------------------------------------------------
+
+    def live_ranges(self, vpn: int) -> Optional[List[Tuple[int, int]]]:
+        """Live byte ranges of an arena page; None for foreign pages."""
+        first = self.region.base >> PAGE_SHIFT
+        last = (self.region.end - 1) >> PAGE_SHIFT
+        if not first <= vpn <= last:
+            return None
+        bitmap = self._bitmaps.get(vpn)
+        if bitmap is None:
+            return []
+        return bitmap.as_ranges(GRANULE)
+
+
+class MimallocGuide(AllocatorGuide):
+    """The §4.4 allocator guide: exposes the bitmaps to the page manager."""
+
+    def __init__(self, allocator: Mimalloc) -> None:
+        self._allocator = allocator
+
+    def live_ranges(self, vpn: int) -> Optional[List[Tuple[int, int]]]:
+        return self._allocator.live_ranges(vpn)

@@ -1,0 +1,7 @@
+"""Workloads (§6): microbenchmarks, simple benchmarks, and real apps.
+
+Every workload here programs against the POSIX-ish :class:`BaseSystem`
+facade (loads/stores/malloc) and therefore runs unmodified on DiLOS *and*
+Fastswap. The AIFM ports — required because AIFM mandates its own C++-like
+API — live alongside the corresponding workloads.
+"""

@@ -1,0 +1,19 @@
+"""GAPBS-style graph processing (Figure 9): CSR graphs, PageRank, BC."""
+
+from repro.apps.gapbs.graph import CsrGraph
+from repro.apps.gapbs.generator import generate_power_law_graph
+from repro.apps.gapbs.pagerank import PageRankWorkload
+from repro.apps.gapbs.bc import BetweennessWorkload
+from repro.apps.gapbs.guide import BcFrontierGuide
+from repro.apps.gapbs.bfs import BfsWorkload
+from repro.apps.gapbs.cc import ConnectedComponentsWorkload
+
+__all__ = [
+    "BcFrontierGuide",
+    "BetweennessWorkload",
+    "BfsWorkload",
+    "ConnectedComponentsWorkload",
+    "CsrGraph",
+    "PageRankWorkload",
+    "generate_power_law_graph",
+]

@@ -1,0 +1,40 @@
+"""Synthetic Twitter-shaped graphs.
+
+The paper's GAPBS runs use the Twitter follower graph [37] — a heavy-tailed
+power-law degree distribution. We generate the same shape: out-degrees
+drawn from a Zipf tail (capped), destinations drawn preferentially so that
+in-degrees are heavy-tailed too.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def generate_power_law_graph(n: int, target_m: int, seed: int = 3,
+                             skew: float = 1.3) -> Tuple[np.ndarray, np.ndarray]:
+    """Return CSR ``(offsets, edges)`` with ~``target_m`` edges over ``n``
+    vertices and power-law in/out degrees."""
+    if n < 2 or target_m < n:
+        raise ValueError("need n >= 2 and target_m >= n")
+    rng = np.random.default_rng(seed)
+    # Out-degrees: Zipf-tailed, scaled to hit target_m, capped at n-1.
+    raw = rng.zipf(skew, size=n).astype(np.float64)
+    raw = np.minimum(raw, n - 1)
+    degrees = np.maximum(1, (raw * (target_m / raw.sum())).astype(np.int64))
+    degrees = np.minimum(degrees, n - 1)
+    m = int(degrees.sum())
+    # Destinations: preferential attachment — sample proportional to a
+    # Zipf popularity over vertex ids (hubs attract followers).
+    popularity = 1.0 / np.arange(1, n + 1) ** skew
+    popularity /= popularity.sum()
+    destinations = rng.choice(n, size=m, p=popularity)
+    # Avoid trivial self-loops by nudging them to a neighbour id.
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    self_loops = destinations == sources
+    destinations[self_loops] = (destinations[self_loops] + 1) % n
+    return offsets, destinations.astype(np.int64)

@@ -1,0 +1,34 @@
+"""A Redis-shaped in-memory key-value store over disaggregated memory.
+
+Implements the data structures whose layouts the §6.3 app-aware guides
+read: SDS strings (GET values), ziplists, and quicklists of ziplists
+(LRANGE), plus a server with GET/SET/DEL/RPUSH/LRANGE, redis-benchmark
+style workload generators (including the Facebook photo-serving size mix),
+and the guides themselves.
+"""
+
+from repro.apps.redis.sds import sds_free, sds_len, sds_new, sds_read, SDS_HEADER
+from repro.apps.redis.ziplist import ziplist_entries, ziplist_new, ziplist_read_range
+from repro.apps.redis.quicklist import Quicklist, NODE_SIZE
+from repro.apps.redis.server import RedisServer
+from repro.apps.redis.workload import DelGetWorkload, GetWorkload, LRangeWorkload, PHOTO_MIX_SIZES
+from repro.apps.redis.guide import RedisPrefetchGuide
+
+__all__ = [
+    "DelGetWorkload",
+    "GetWorkload",
+    "LRangeWorkload",
+    "NODE_SIZE",
+    "PHOTO_MIX_SIZES",
+    "Quicklist",
+    "RedisPrefetchGuide",
+    "RedisServer",
+    "SDS_HEADER",
+    "sds_free",
+    "sds_len",
+    "sds_new",
+    "sds_read",
+    "ziplist_entries",
+    "ziplist_new",
+    "ziplist_read_range",
+]

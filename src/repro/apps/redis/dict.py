@@ -1,0 +1,185 @@
+"""A far-memory open-addressing hash table — Redis's keyspace index.
+
+§6.2 motivates the Redis evaluation with "in-memory key-value store
+applications use pointer-based data structures (e.g., hash tables and
+linked lists), and they have highly irregular memory access patterns".
+The quicklist covers the linked-list half; this covers the hash-table
+half: a linear-probing table whose bucket array lives in disaggregated
+memory, so every lookup's probe sequence is a run of potentially faulting
+reads at hash-random pages.
+
+Bucket layout (64 bytes, one cache line):
+
+    [tag: u64][klen: u16][key: <=46 bytes inline][value: u64]
+
+``tag`` is the FNV-1a hash of the key forced non-zero/non-one (0 marks an
+empty bucket, 1 a tombstone). Values are opaque u64s — the server stores
+SDS virtual addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.alloc.mimalloc import Mimalloc
+from repro.core.api import BaseSystem
+
+BUCKET_SIZE = 64
+MAX_KEY = 46
+_EMPTY = 0
+_TOMBSTONE = 1
+#: Probes before giving up (table guaranteed below this load).
+_MAX_PROBES_FACTOR = 1.0
+#: CPU charge per probe (hash compare + branch).
+PROBE_CYCLES = 12
+
+
+def fnv1a(key: bytes) -> int:
+    """64-bit FNV-1a."""
+    value = 0xCBF29CE484222325
+    for byte in key:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def _tag_for(key: bytes) -> int:
+    tag = fnv1a(key)
+    return tag if tag > 1 else tag + 2
+
+
+class FarDict:
+    """Open-addressing hash table over disaggregated memory."""
+
+    def __init__(self, system: BaseSystem, alloc: Mimalloc,
+                 initial_capacity: int = 256,
+                 max_load: float = 0.65) -> None:
+        if initial_capacity < 8 or initial_capacity & (initial_capacity - 1):
+            raise ValueError("capacity must be a power of two >= 8")
+        if not 0.1 < max_load < 0.9:
+            raise ValueError("max_load must be in (0.1, 0.9)")
+        self.system = system
+        self.alloc = alloc
+        self.max_load = max_load
+        self.capacity = initial_capacity
+        self._table_va = self._alloc_table(initial_capacity)
+        self.size = 0
+        self._tombstones = 0
+        self.resizes = 0
+
+    def _alloc_table(self, capacity: int) -> int:
+        """calloc() a bucket array: recycled arena pages may hold stale
+        bytes, and an unzeroed bucket would read as a live entry."""
+        va = self.alloc.malloc(capacity * BUCKET_SIZE)
+        zeros = b"\x00" * 4096
+        nbytes = capacity * BUCKET_SIZE
+        for offset in range(0, nbytes, 4096):
+            self.system.memory.write(va + offset,
+                                     zeros[:min(4096, nbytes - offset)])
+        return va
+
+    # -- bucket IO ----------------------------------------------------------
+
+    def _bucket_va(self, index: int) -> int:
+        return self._table_va + (index & (self.capacity - 1)) * BUCKET_SIZE
+
+    def _read_bucket(self, index: int) -> Tuple[int, bytes, int]:
+        raw = self.system.memory.read(self._bucket_va(index), BUCKET_SIZE)
+        tag = int.from_bytes(raw[0:8], "little")
+        klen = int.from_bytes(raw[8:10], "little")
+        key = raw[10:10 + klen]
+        value = int.from_bytes(raw[56:64], "little")
+        return tag, key, value
+
+    def _write_bucket(self, index: int, tag: int, key: bytes,
+                      value: int) -> None:
+        raw = (tag.to_bytes(8, "little")
+               + len(key).to_bytes(2, "little")
+               + key.ljust(MAX_KEY, b"\x00")
+               + value.to_bytes(8, "little"))
+        self.system.memory.write(self._bucket_va(index), raw)
+
+    # -- public API -----------------------------------------------------------
+
+    def put(self, key: bytes, value: int) -> None:
+        """Insert or replace ``key``; value is an opaque u64."""
+        if len(key) > MAX_KEY:
+            raise ValueError(f"key longer than {MAX_KEY} bytes")
+        if (self.size + self._tombstones + 1) > self.capacity * self.max_load:
+            self._resize()
+        tag = _tag_for(key)
+        index = tag
+        first_tombstone = None
+        for _probe in range(self.capacity):
+            self.system.cpu_cycles(PROBE_CYCLES)
+            found_tag, found_key, _ = self._read_bucket(index)
+            if found_tag == _EMPTY:
+                target = first_tombstone if first_tombstone is not None else index
+                self._write_bucket(target, tag, key, value)
+                self.size += 1
+                if first_tombstone is not None:
+                    self._tombstones -= 1
+                return
+            if found_tag == _TOMBSTONE:
+                if first_tombstone is None:
+                    first_tombstone = index
+            elif found_tag == tag and found_key == key:
+                self._write_bucket(index, tag, key, value)
+                return
+            index += 1
+        raise RuntimeError("hash table full despite load factor bound")
+
+    def get(self, key: bytes) -> Optional[int]:
+        tag = _tag_for(key)
+        index = tag
+        for _probe in range(self.capacity):
+            self.system.cpu_cycles(PROBE_CYCLES)
+            found_tag, found_key, value = self._read_bucket(index)
+            if found_tag == _EMPTY:
+                return None
+            if found_tag == tag and found_key == key:
+                return value
+            index += 1
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        tag = _tag_for(key)
+        index = tag
+        for _probe in range(self.capacity):
+            self.system.cpu_cycles(PROBE_CYCLES)
+            found_tag, found_key, _ = self._read_bucket(index)
+            if found_tag == _EMPTY:
+                return False
+            if found_tag == tag and found_key == key:
+                self._write_bucket(index, _TOMBSTONE, b"", 0)
+                self.size -= 1
+                self._tombstones += 1
+                return True
+            index += 1
+        return False
+
+    def __len__(self) -> int:
+        return self.size
+
+    def items(self) -> Iterator[Tuple[bytes, int]]:
+        """Scan all live entries (a full sequential pass of the table)."""
+        for index in range(self.capacity):
+            tag, key, value = self._read_bucket(index)
+            if tag not in (_EMPTY, _TOMBSTONE):
+                yield key, value
+
+    # -- resizing ----------------------------------------------------------------
+
+    def _resize(self) -> None:
+        """Double the table: a full rehash streaming the old array."""
+        old_va = self._table_va
+        old_capacity = self.capacity
+        entries = list(self.items())
+        self.capacity = old_capacity * 2
+        self._table_va = self._alloc_table(self.capacity)
+        self.size = 0
+        self._tombstones = 0
+        self.resizes += 1
+        for key, value in entries:
+            self.put(key, value)
+        self.alloc.free(old_va)

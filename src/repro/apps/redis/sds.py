@@ -1,0 +1,45 @@
+"""Simple Dynamic Strings — Redis's string representation [62].
+
+Layout in far memory (little-endian), mirroring sds:
+
+    [len: u32][alloc: u32][flags: u8][data ...][NUL]
+
+The header-then-data split is what the §6.3 GET guide exploits: a subpage
+fetch of the 9-byte header reveals the exact value length, so the guide
+prefetches precisely ``ceil((header+len+1)/4096)`` pages instead of letting
+a general-purpose prefetcher guess.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.mimalloc import Mimalloc
+from repro.core.api import BaseSystem
+
+#: Header bytes before the character data.
+SDS_HEADER = 9
+
+
+def sds_new(system: BaseSystem, alloc: Mimalloc, data: bytes) -> int:
+    """Allocate and initialize an SDS; returns its VA."""
+    total = SDS_HEADER + len(data) + 1
+    va = alloc.malloc(total)
+    header = (len(data).to_bytes(4, "little")
+              + len(data).to_bytes(4, "little") + b"\x00")
+    system.memory.write(va, header + data + b"\x00")
+    return va
+
+
+def sds_len(system: BaseSystem, va: int) -> int:
+    """Read just the length field (the guide's subpage target)."""
+    return int.from_bytes(system.memory.read(va, 4), "little")
+
+
+def sds_read(system: BaseSystem, va: int) -> bytes:
+    """Read the full string: header first, then the data bytes."""
+    length = sds_len(system, va)
+    return system.memory.read(va + SDS_HEADER, length)
+
+
+def sds_free(alloc: Mimalloc, va: int) -> None:
+    """Release an SDS allocation."""
+    alloc.free(va)

@@ -1,0 +1,237 @@
+"""The Redis-shaped server: GET/SET/DEL/RPUSH/LRANGE over far memory.
+
+The keyspace index (Redis's top-level dict) stays in local memory — at
+datacenter scale the working set is dominated by values, which all live in
+disaggregated memory through the bitmap-tracking allocator. Command
+dispatch costs a few hundred cycles, as in Redis.
+
+When an app-aware guide is attached, the server's handlers are wrapped by
+loader hooks that tell the guide where each traversal starts — the §5
+hooking interface; the Redis code itself has no guide knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.alloc.mimalloc import Mimalloc
+from repro.core.api import BaseSystem
+from repro.apps.redis.dict import FarDict
+from repro.apps.redis.guide import RedisPrefetchGuide
+from repro.apps.redis.quicklist import Quicklist
+from repro.apps.redis.sds import SDS_HEADER, sds_free, sds_len, sds_new, sds_read
+
+#: Command dispatch + dict lookup + reply marshalling.
+COMMAND_CYCLES = 500
+
+
+class RedisServer:
+    """One single-threaded Redis instance."""
+
+    def __init__(self, system: BaseSystem, alloc: Mimalloc,
+                 guide: Optional[RedisPrefetchGuide] = None,
+                 quicklist_fill: int = 16,
+                 index: str = "local") -> None:
+        """``index="far"`` keeps the keyspace dict itself in far memory
+        (string values only): every lookup's probe sequence then pages
+        like the rest of the working set."""
+        if index not in ("local", "far"):
+            raise ValueError(f"unknown index mode {index!r}")
+        self.system = system
+        self.alloc = alloc
+        self.guide = guide
+        self.quicklist_fill = quicklist_fill
+        self.index_mode = index
+        self._db: Dict[bytes, Tuple[str, object]] = {}
+        self._far_index: Optional[FarDict] = (
+            FarDict(system, alloc) if index == "far" else None)
+        if guide is not None:
+            kernel = getattr(system, "kernel", None)
+            register = getattr(kernel, "register_prefetch_guide", None)
+            if register is None:
+                raise ValueError(
+                    f"{system.name} does not support app-aware guides")
+            register(guide)
+
+    def _charge(self) -> None:
+        self.system.cpu_cycles(COMMAND_CYCLES)
+
+    @property
+    def dbsize(self) -> int:
+        if self._far_index is not None:
+            return len(self._far_index)
+        return len(self._db)
+
+    # -- string commands ----------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._charge()
+        self.delete(key, charge=False)
+        va = sds_new(self.system, self.alloc, value)
+        if self._far_index is not None:
+            self._far_index.put(key, va)
+        else:
+            self._db[key] = ("string", va)
+
+    def _lookup(self, key: bytes) -> Optional[Tuple[str, object]]:
+        if self._far_index is not None:
+            va = self._far_index.get(key)
+            return None if va is None else ("string", va)
+        return self._db.get(key)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            return None
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        if self.guide is not None:
+            self.guide.begin_get(va)
+        try:
+            return sds_read(self.system, va)
+        finally:
+            if self.guide is not None:
+                self.guide.end_op()
+
+    def delete(self, key: bytes, charge: bool = True) -> bool:
+        if charge:
+            self._charge()
+        if self._far_index is not None:
+            va = self._far_index.get(key)
+            if va is None:
+                return False
+            self._far_index.delete(key)
+            entry = ("string", va)
+        else:
+            entry = self._db.pop(key, None)
+        if entry is None:
+            return False
+        kind, payload = entry
+        if kind == "string":
+            # Redis inspects the object before freeing it (type/encoding/
+            # refcount live in the robj+sds header) — a real access that
+            # faults the page in if it was evicted.
+            sds_len(self.system, payload)
+            sds_free(self.alloc, payload)
+        else:
+            payload.free()
+        return True
+
+    def exists(self, key: bytes) -> bool:
+        self._charge()
+        return self._lookup(key) is not None
+
+    def strlen(self, key: bytes) -> int:
+        """Length of a string value — reads only the SDS header."""
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            return 0
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        return sds_len(self.system, va)
+
+    def getrange(self, key: bytes, start: int, length: int) -> bytes:
+        """GETRANGE: read a byte slice of a value — the sub-object access
+        §3.1's IO-amplification analysis is about (a paging system still
+        fetches whole pages underneath)."""
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            return b""
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        total = sds_len(self.system, va)
+        if start < 0 or start >= total:
+            return b""
+        length = min(length, total - start)
+        return self.system.memory.read(va + SDS_HEADER + start, length)
+
+    def setrange(self, key: bytes, start: int, piece: bytes) -> int:
+        """SETRANGE: overwrite a byte slice in place (no realloc when the
+        slice fits); returns the value length."""
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            raise KeyError(f"no such key {key!r}")
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        total = sds_len(self.system, va)
+        if start < 0 or start + len(piece) > total:
+            raise ValueError("SETRANGE outside the existing value")
+        self.system.memory.write(va + SDS_HEADER + start, piece)
+        return total
+
+    def append(self, key: bytes, suffix: bytes) -> int:
+        """APPEND: grow a string — a realloc in allocator terms (new SDS,
+        copy, free old), exactly the churn §4.4's bitmaps track."""
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            self.set(key, suffix)
+            return len(suffix)
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        current = sds_read(self.system, va)
+        self.set(key, current + suffix)
+        return len(current) + len(suffix)
+
+    def incr(self, key: bytes) -> int:
+        """INCR: parse the value as an integer, add one, write back."""
+        self._charge()
+        entry = self._lookup(key)
+        if entry is None:
+            self.set(key, b"1")
+            return 1
+        kind, va = entry
+        if kind != "string":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        raw = sds_read(self.system, va)
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"value of {key!r} is not an integer") from None
+        value += 1
+        self.set(key, b"%d" % value)
+        return value
+
+    # -- list commands ----------------------------------------------------------
+
+    def rpush(self, key: bytes, values: List[bytes]) -> int:
+        self._charge()
+        if self._far_index is not None:
+            raise ValueError("the far-memory index supports string keys only")
+        entry = self._db.get(key)
+        if entry is None:
+            quicklist = Quicklist(self.system, self.alloc,
+                                  fill=self.quicklist_fill)
+            self._db[key] = ("list", quicklist)
+        else:
+            kind, quicklist = entry
+            if kind != "list":
+                raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        quicklist.push_values(values)
+        return quicklist.length
+
+    def lrange(self, key: bytes, count: int) -> List[bytes]:
+        """LRANGE key 0 count-1 — the paper's LRANGE_100 query shape."""
+        self._charge()
+        entry = self._db.get(key)
+        if entry is None:
+            return []
+        kind, quicklist = entry
+        if kind != "list":
+            raise TypeError(f"WRONGTYPE key {key!r} holds a {kind}")
+        if self.guide is not None:
+            self.guide.begin_lrange(quicklist.head)
+        try:
+            return quicklist.lrange(count)
+        finally:
+            if self.guide is not None:
+                self.guide.end_op()

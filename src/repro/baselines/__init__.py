@@ -1,0 +1,1 @@
+"""Baseline systems the paper compares against: Fastswap and AIFM."""

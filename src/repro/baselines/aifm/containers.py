@@ -1,0 +1,144 @@
+"""AIFM's remoteable containers: list and hashtable.
+
+AIFM ships "C++ STL-like" containers whose *elements* are far-memory
+objects behind remoteable pointers (§2). Two of them matter for the
+paper's comparisons:
+
+* :class:`RemList` — a linked list of far objects. Iteration is
+  pointer-chasing, but because the runtime sees each node's ``next``
+  pointer the moment the node arrives, it keeps a runahead pipeline of
+  in-flight fetches — AIFM's answer to the problem DiLOS solves with the
+  Figure 5 guide.
+* :class:`RemHashTable` — keys hash locally (AIFM keeps index metadata in
+  local memory), values are far objects fetched on access.
+
+Both illustrate the programming-model cost the paper emphasizes: using
+them requires writing the application against these APIs, while DiLOS
+runs the pointer-chasing code unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.baselines.aifm.runtime import AifmRuntime, RemPtr
+
+#: Node layout: [next_oid: u64][payload ...].
+_NEXT_BYTES = 8
+
+
+class RemList:
+    """A singly-linked list of far-memory payloads."""
+
+    def __init__(self, runtime: AifmRuntime, runahead: int = 4) -> None:
+        if runahead < 0:
+            raise ValueError("runahead must be >= 0")
+        self._runtime = runtime
+        self.runahead = runahead
+        self._head_oid = 0
+        self._tail: Optional[RemPtr] = None
+        self.length = 0
+
+    @staticmethod
+    def _pack(next_oid: int, payload: bytes) -> bytes:
+        return next_oid.to_bytes(_NEXT_BYTES, "little") + payload
+
+    def append(self, payload: bytes) -> None:
+        """Append a payload as a new far object."""
+        node = self._runtime.allocate(_NEXT_BYTES + len(payload),
+                                      data=self._pack(0, payload))
+        if self._tail is None:
+            self._head_oid = node._oid
+        else:
+            self._tail.write(node._oid.to_bytes(_NEXT_BYTES, "little"),
+                             offset=0)
+        self._tail = node
+        self.length += 1
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[bytes]:
+        """Traverse; the runtime pipelines ``runahead`` nodes ahead.
+
+        After a node arrives its ``next`` pointer is known, so the
+        runahead thread can already issue the following fetch — keeping
+        ``runahead`` fetches in flight without application hints.
+        """
+        runtime = self._runtime
+        current = self._head_oid
+        # Prime the pipeline by walking pointers through *arrived* data.
+        pipeline: List[int] = []
+        probe = current
+        for _ in range(self.runahead):
+            if not probe:
+                break
+            obj = runtime._objects.get(probe)
+            if obj is None or obj.local is None:
+                runtime.prefetch(probe)
+                break
+            pipeline.append(probe)
+            probe = int.from_bytes(bytes(obj.local[:_NEXT_BYTES]), "little")
+        while current:
+            raw = runtime.deref_read(current)
+            next_oid = int.from_bytes(raw[:_NEXT_BYTES], "little")
+            # Keep the pipeline primed: the freshly revealed pointer can
+            # be fetched while the caller consumes this payload.
+            if next_oid and self.runahead >= 1:
+                runtime.prefetch(next_oid)
+                if self.runahead >= 2:
+                    follower = runtime._objects.get(next_oid)
+                    if follower is not None and follower.local is not None:
+                        beyond = int.from_bytes(
+                            bytes(follower.local[:_NEXT_BYTES]), "little")
+                        if beyond:
+                            runtime.prefetch(beyond)
+            yield raw[_NEXT_BYTES:]
+            current = next_oid
+
+    def free(self) -> None:
+        """Release every node."""
+        runtime = self._runtime
+        current = self._head_oid
+        while current:
+            raw = runtime.deref_read(current, 0, _NEXT_BYTES)
+            next_oid = int.from_bytes(raw, "little")
+            runtime.free(current)
+            current = next_oid
+        self._head_oid = 0
+        self._tail = None
+        self.length = 0
+
+
+class RemHashTable:
+    """Local index, far-memory values — AIFM's hashtable shape."""
+
+    def __init__(self, runtime: AifmRuntime) -> None:
+        self._runtime = runtime
+        self._index: Dict[bytes, RemPtr] = {}
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self._index.pop(key, None)
+        if old is not None:
+            old.free()
+        self._index[key] = self._runtime.allocate(max(1, len(value)),
+                                                  data=value)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        ptr = self._index.get(key)
+        if ptr is None:
+            return None
+        return ptr.read()
+
+    def delete(self, key: bytes) -> bool:
+        ptr = self._index.pop(key, None)
+        if ptr is None:
+            return False
+        ptr.free()
+        return True
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._index

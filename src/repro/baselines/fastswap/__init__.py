@@ -1,0 +1,7 @@
+"""Fastswap [2]: kernel paging over the Linux swap subsystem (modeled)."""
+
+from repro.baselines.fastswap.config import FastswapConfig
+from repro.baselines.fastswap.kernel import FastswapKernel, FastswapSystem
+from repro.baselines.fastswap.swap_cache import SwapCache
+
+__all__ = ["FastswapConfig", "FastswapKernel", "FastswapSystem", "SwapCache"]

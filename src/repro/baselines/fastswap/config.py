@@ -1,0 +1,45 @@
+"""Configuration for the Fastswap baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import MIB
+from repro.net.latency import LatencyModel
+
+
+@dataclass
+class FastswapConfig:
+    """Knobs for the modeled Fastswap computing node.
+
+    Defaults follow the Linux/Fastswap configuration of the paper's testbed:
+    swap readahead cluster of 8 pages (``page_cluster=3``), direct reclaim
+    at fault time with a dedicated offload core that absorbs roughly half
+    the reclaim work (§3.1: "not all reclamation work is offloaded").
+    """
+
+    local_mem_bytes: int = 64 * MIB
+    remote_mem_bytes: int = 512 * MIB
+    #: Swap readahead cluster size (faulted page + window-1 prefetched).
+    readahead_window: int = 8
+    #: Free-frame watermarks (fractions of local frames). Direct reclaim
+    #: triggers below ``min``; kswapd background reclaim targets ``high``.
+    min_watermark_frac: float = 0.02
+    high_watermark_frac: float = 0.06
+    #: kswapd wakeup period and batch.
+    kswapd_period_us: float = 100.0
+    kswapd_batch: int = 24
+    #: Pages reclaimed per direct-reclaim invocation.
+    reclaim_batch: int = 8
+    #: Average LRU pages scanned per page actually evicted (second chances,
+    #: referenced pages, isolation failures).
+    scan_per_evict: float = 2.0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def validate(self) -> None:
+        if self.local_mem_bytes <= 0 or self.remote_mem_bytes <= 0:
+            raise ValueError("memory sizes must be positive")
+        if self.readahead_window < 1:
+            raise ValueError("readahead window must be >= 1")
+        if not 0.0 < self.min_watermark_frac < self.high_watermark_frac < 0.5:
+            raise ValueError("watermarks must satisfy 0 < min < high < 0.5")

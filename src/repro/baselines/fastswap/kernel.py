@@ -1,0 +1,356 @@
+"""The Fastswap kernel model: Linux swap subsystem + frontswap over RDMA.
+
+Faithfully reproduces the *structure* the paper measures in §3:
+
+* a major fault walks the full swap path — swap-entry decode, swap-cache
+  allocation and radix insertion, buddy page allocation, rmap/map — before
+  and after its RDMA fetch (Figure 1's software components);
+* swap readahead fetches a cluster of 8 pages *into the swap cache*,
+  unmapped, so 7 of every 8 sequential accesses become minor faults
+  (Table 1's 12.5%/87.5% split is emergent, not hard-coded);
+* readahead IO shares the fault path's queue pair — prefetch reads queue
+  behind and ahead of demand reads (head-of-line blocking);
+* reclamation runs at fault time (direct reclaim) with a dedicated
+  offload core absorbing only part of the work (§3.1), plus a weak kswapd;
+  dirty evictions pay their RDMA write-back on the critical path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.common.clock import Clock
+from repro.common.stats import Counter, Histogram, LatencyBreakdown
+from repro.common.units import PAGE_SHIFT, PAGE_SIZE
+from repro.baselines.fastswap.config import FastswapConfig
+from repro.baselines.fastswap.swap_cache import SwapCache
+from repro.core.api import BaseSystem
+from repro.mem import pte as pte_mod
+from repro.mem.addrspace import AddressSpace, Region
+from repro.mem.frames import FramePool
+from repro.mem.remote import MemoryNode, NodeFailedError
+from repro.mem.vm import VirtualMemory
+from repro.net.qp import NetStats, QueuePair
+
+Tag = pte_mod.Tag
+
+
+class FastswapKernel:
+    """Page fault handling through the modeled Linux swap subsystem."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        config: FastswapConfig,
+        addr_space: AddressSpace,
+        frames: FramePool,
+        vm: VirtualMemory,
+        node: MemoryNode,
+    ) -> None:
+        config.validate()
+        self.clock = clock
+        self.config = config
+        self.model = config.latency
+        self._as = addr_space
+        self._pt = addr_space.page_table
+        self._frames = frames
+        self._vm = vm
+        self._node = node
+        self.counters = Counter()
+        self.breakdown = LatencyBreakdown()
+        self.minor_wait = Histogram()
+        self.stats = NetStats()
+        #: Faults, readahead, and frontswap stores all share one swap IO
+        #: queue — demand fetches queue behind readahead and write-backs
+        #: (the head-of-line blocking DiLOS' comm module avoids, §4.5).
+        self.swap_qp = QueuePair("swap", clock, self.model, node, self.stats)
+        self.swap_cache = SwapCache()
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        total = frames.total_frames
+        # Same small-pool cap as DiLOS' page manager: reserve at most a
+        # quarter of local memory for the free-frame cushion.
+        self.min_watermark = max(4, int(total * config.min_watermark_frac))
+        self.high_watermark = min(
+            max(self.min_watermark + 4, int(total * config.high_watermark_frac),
+                min(24, total // 8)),
+            max(self.min_watermark + 4, total // 4))
+        vm.attach_kernel(self.handle_fault)
+        clock.call_after(config.kswapd_period_us, self._kswapd_tick)
+
+    # -- fault handling ------------------------------------------------------
+
+    def handle_fault(self, va: int, is_write: bool) -> None:
+        model = self.model
+        vpn = va >> PAGE_SHIFT
+        self.clock.advance(model.hw_exception + model.os_fault_entry)
+        entry = self._pt.get(vpn)
+        tag = pte_mod.classify(entry)
+
+        if tag is Tag.LOCAL:
+            self.counters.add("spurious_faults")
+            return
+        if tag is Tag.INVALID:
+            self._first_touch(vpn, va)
+            return
+        if tag is not Tag.REMOTE:
+            raise AssertionError(f"unexpected PTE tag {tag} in Fastswap")
+
+        self.clock.advance(model.fastswap_swap_lookup)
+        cached = self.swap_cache.lookup(vpn)
+        if cached is not None:
+            self._minor_fault(vpn, cached)
+        else:
+            self._major_fault(vpn)
+
+    def _first_touch(self, vpn: int, va: int) -> None:
+        region = self._as.region_for(va)
+        self._maybe_direct_reclaim()
+        frame = self._frames.alloc()
+        self.clock.advance(self.model.fastswap_page_alloc
+                           + self.model.fastswap_map)
+        self._pt.set(vpn, pte_mod.make_local(frame, dirty=True,
+                                             writable=region.writable))
+        if region.ddc:
+            self._lru[vpn] = None
+        self.counters.add("first_touch_faults")
+
+    def _minor_fault(self, vpn: int, cached) -> None:
+        """Map a page already sitting in the swap cache."""
+        frame, ready = cached
+        self.counters.add("minor_faults")
+        # Take the page reference first (lock_page pins it) so concurrent
+        # reclaim cannot drop the entry while we wait out its IO.
+        self.swap_cache.remove(vpn)
+        self.clock.advance(self.model.fastswap_minor_fault)
+        waited = max(0.0, ready - self.clock.now)
+        if waited:
+            # lock_page(): the readahead IO is still in flight.
+            self.minor_wait.record(waited)
+            self.clock.advance_to(ready)
+        writable = self._as.region_for(vpn << PAGE_SHIFT).writable
+        self._pt.set(vpn, pte_mod.make_local(frame, dirty=False,
+                                             writable=writable))
+        self._lru[vpn] = None
+
+    def _major_fault(self, vpn: int) -> None:
+        model = self.model
+        self.counters.add("major_faults")
+        components = {"exception": model.hw_exception + model.os_fault_entry}
+
+        reclaim_us = self._maybe_direct_reclaim()
+        components["reclaim"] = reclaim_us
+
+        software = (model.fastswap_swap_lookup + model.fastswap_swapcache_insert
+                    + model.fastswap_page_alloc + model.fastswap_map)
+        components["software"] = software
+        self.clock.advance(model.fastswap_swapcache_insert
+                           + model.fastswap_page_alloc)
+        frame = self._frames.alloc()
+
+        issue_time = self.clock.now
+        try:
+            completion = self.swap_qp.post_read(
+                self._as.remote_offset_for(vpn), PAGE_SIZE)
+        except NodeFailedError:
+            self._frames.free(frame)
+            self.counters.add("fetch_node_failures")
+            raise
+        self._readahead(vpn)
+        self.clock.advance_to(completion.time)
+        components["fetch"] = self.clock.now - issue_time
+
+        self._frames.data(frame)[:] = completion.data
+        self.clock.advance(model.fastswap_map)
+        writable = self._as.region_for(vpn << PAGE_SHIFT).writable
+        self._pt.set(vpn, pte_mod.make_local(frame, dirty=False,
+                                             writable=writable))
+        self._lru[vpn] = None
+        self.breakdown.record_fault(components)
+
+    # -- swap readahead ---------------------------------------------------------
+
+    def _readahead(self, fault_vpn: int) -> None:
+        """Fetch the rest of the cluster into the swap cache, unmapped."""
+        for offset in range(1, self.config.readahead_window):
+            vpn = fault_vpn + offset
+            entry = self._pt.get(vpn)
+            if pte_mod.classify(entry) is not Tag.REMOTE:
+                continue
+            if self.swap_cache.contains(vpn):
+                continue
+            if self._frames.free_frames <= self.min_watermark:
+                self.counters.add("readahead_skipped_no_frames")
+                break
+            frame = self._frames.alloc()
+            try:
+                completion = self.swap_qp.post_read(
+                    self._as.remote_offset_for(vpn), PAGE_SIZE)
+            except NodeFailedError:
+                self._frames.free(frame)
+                break
+            # Data lands in the frame when the IO completes; contents are
+            # immutable remotely while unmapped, so snapshot now.
+            self._frames.data(frame)[:] = completion.data
+            self.swap_cache.insert(vpn, frame, completion.time)
+            self.counters.add("readahead_issued")
+
+    # -- reclamation ----------------------------------------------------------------
+
+    def _maybe_direct_reclaim(self) -> float:
+        """Direct reclaim when free frames dip below the min watermark.
+
+        Returns the microseconds charged inline (a fraction is absorbed by
+        Fastswap's dedicated reclaim core).
+        """
+        if self._frames.free_frames > self.min_watermark:
+            return 0.0
+        target = min(self.config.reclaim_batch,
+                     self.high_watermark - self._frames.free_frames)
+        inline_us = self._reclaim_pages(
+            target, offload=self.model.fastswap_reclaim_offload_fraction)
+        self.counters.add("direct_reclaims")
+        self.clock.advance(inline_us)
+        return inline_us
+
+    def _reclaim_pages(self, target: int, offload: float,
+                       allow_writeback: bool = True) -> float:
+        """Evict up to ``target`` pages; returns inline CPU microseconds.
+
+        ``allow_writeback=False`` models kswapd's writeback aversion (dirty
+        throttling): background reclaim skips dirty pages, so under
+        write-heavy load eviction falls back to direct reclaim, which pays
+        the frontswap store synchronously on the fault path — the reason
+        Fastswap's sequential-write throughput is half its read throughput
+        (Table 2).
+        """
+        model = self.model
+        cpu_us = 0.0
+        wire_us = 0.0  # synchronous store waits; the offload core cannot
+        # absorb wire time the faulting thread must wait out.
+        evicted = 0
+        # Clean swap-cache pages first: free wins.
+        while evicted < target:
+            dropped = self.swap_cache.pop_any_ready(self.clock.now)
+            if dropped is None:
+                break
+            _vpn, frame = dropped
+            self._frames.free(frame)
+            cpu_us += model.fastswap_reclaim_per_page * 0.5
+            evicted += 1
+            self.counters.add("swapcache_reclaimed")
+        # Then the LRU, paying write-backs for dirty pages.
+        rotations = 0
+        max_rotations = 2 * len(self._lru) + 1
+        while evicted < target and self._lru and rotations < max_rotations:
+            rotations += 1
+            vpn, _ = self._lru.popitem(last=False)
+            entry = self._pt.get(vpn)
+            if not pte_mod.is_present(entry):
+                continue
+            cpu_us += model.fastswap_reclaim_per_page * self.config.scan_per_evict
+            if pte_mod.is_accessed(entry):
+                self._pt.set(vpn, pte_mod.clear_accessed(entry))
+                self._vm.tlb.invalidate(vpn)
+                self._lru[vpn] = None
+                continue
+            frame = pte_mod.frame_of(entry)
+            if pte_mod.is_dirty(entry) and not allow_writeback:
+                self._lru[vpn] = None  # kswapd defers dirty pages
+                continue
+            if pte_mod.is_dirty(entry):
+                try:
+                    completion = self.swap_qp.post_write(
+                        self._as.remote_offset_for(vpn),
+                        bytes(self._frames.data(frame)))
+                except NodeFailedError:
+                    # Cannot write back: keep the page resident.
+                    self.counters.add("writeback_node_failures")
+                    self._lru[vpn] = None
+                    continue
+                # frontswap stores are synchronous: wait out the write.
+                wire_us += max(0.0, completion.time - self.clock.now)
+                self.counters.add("writebacks")
+            self._pt.set(vpn, pte_mod.make_remote(self._as.remote_pfn_for(vpn)))
+            self._vm.tlb.invalidate(vpn)
+            self._frames.free(frame)
+            evicted += 1
+            self.counters.add("pages_evicted")
+        return cpu_us * (1.0 - offload) + wire_us
+
+    def _kswapd_tick(self) -> None:
+        """Background reclaim toward the high watermark (free of charge —
+        kswapd runs on another core)."""
+        deficit = self.high_watermark - self._frames.free_frames
+        if deficit > 0:
+            self._reclaim_pages(min(deficit, self.config.kswapd_batch),
+                                offload=1.0, allow_writeback=False)
+            self.counters.add("kswapd_runs")
+        self.clock.call_after(self.config.kswapd_period_us, self._kswapd_tick)
+
+    # -- teardown ---------------------------------------------------------------------
+
+    def release_region(self, region: Region) -> None:
+        first = region.base >> PAGE_SHIFT
+        last = (region.end - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            entry = self._pt.get(vpn)
+            if pte_mod.is_present(entry):
+                self._frames.free(pte_mod.frame_of(entry))
+            if self.swap_cache.contains(vpn):
+                frame, _ready = self.swap_cache.remove(vpn)
+                self._frames.free(frame)
+            self._pt.set(vpn, 0)
+            self._vm.tlb.invalidate(vpn)
+            self._lru.pop(vpn, None)
+            self._as.release_remote(vpn)
+
+
+class FastswapSystem(BaseSystem):
+    """A booted Fastswap computing node attached to a fresh memory node."""
+
+    def __init__(self, config: Optional[FastswapConfig] = None,
+                 memory_backend=None) -> None:
+        """Boot a node; ``memory_backend`` overrides the default single
+        memory node (e.g. a cluster from :mod:`repro.mem.cluster`)."""
+        self.config = config or FastswapConfig()
+        self.config.validate()
+        self.clock = Clock()
+        self.model = self.config.latency
+        self.node = memory_backend or MemoryNode(self.config.remote_mem_bytes)
+        self.frames = FramePool(self.config.local_mem_bytes // PAGE_SIZE)
+        self.addr_space = AddressSpace(self.node)
+        self.vm = VirtualMemory(self.clock, self.addr_space.page_table,
+                                self.frames, self.model.cpu_copy_per_byte)
+        self.kernel = FastswapKernel(self.clock, self.config, self.addr_space,
+                                     self.frames, self.vm, self.node)
+
+    @property
+    def name(self) -> str:
+        return "Fastswap"
+
+    def munmap(self, region: Region) -> None:
+        self.kernel.release_region(region)
+        self.addr_space.munmap(region)
+
+    def metrics(self) -> Dict[str, Any]:
+        k = self.kernel.counters
+        result = {
+            "system": self.name,
+            "time_us": self.clock.now,
+            "major_faults": k.get("major_faults"),
+            "minor_faults": k.get("minor_faults"),
+            "first_touch_faults": k.get("first_touch_faults"),
+            "prefetches_issued": k.get("readahead_issued"),
+            "direct_reclaims": k.get("direct_reclaims"),
+            "pages_evicted": k.get("pages_evicted"),
+            "pages_cleaned": k.get("writebacks"),
+            "net_bytes_read": self.kernel.stats.bytes_read,
+            "net_bytes_written": self.kernel.stats.bytes_written,
+            "tlb_hits": self.vm.tlb.hits,
+            "tlb_misses": self.vm.tlb.misses,
+            "swap_cache_size": len(self.kernel.swap_cache),
+        }
+        result.update({f"counter.{name}": value
+                       for name, value in k.as_dict().items()})
+        return result

@@ -1,0 +1,345 @@
+"""Command-line runner: single experiments without writing a script.
+
+Examples::
+
+    python -m repro systems
+    python -m repro seqrw --system dilos-readahead --ratio 0.125 --mode read
+    python -m repro quicksort --system fastswap --ratio 0.25
+    python -m repro taxi --system aifm --ratio 0.5
+    python -m repro redis-lrange --system dilos-readahead --app-aware
+    python -m repro bc --system dilos-readahead --guide
+
+Every command boots a fresh simulated machine, runs one workload, and
+prints the headline number plus the paging-subsystem counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.common.units import MIB
+from repro.harness import SYSTEM_KINDS, format_table, local_bytes_for, make_system
+from repro.alloc import Mimalloc
+from repro.apps.dataframe import TaxiAnalyticsWorkload
+from repro.apps.gapbs import (
+    BcFrontierGuide,
+    BetweennessWorkload,
+    CsrGraph,
+    PageRankWorkload,
+    generate_power_law_graph,
+)
+from repro.apps.kmeans import KMeansWorkload
+from repro.apps.quicksort import QuicksortWorkload
+from repro.apps.redis import (
+    GetWorkload,
+    LRangeWorkload,
+    RedisPrefetchGuide,
+    RedisServer,
+)
+from repro.apps.seqrw import SequentialWorkload
+from repro.apps.snappy import SnappyWorkload
+
+
+def _print_metrics(headline: str, metrics: Dict) -> None:
+    print(headline)
+    interesting = ("major_faults", "minor_faults", "first_touch_faults",
+                   "prefetches_issued", "direct_reclaims", "pages_evicted",
+                   "pages_cleaned", "net_bytes_read", "net_bytes_written",
+                   "derefs", "object_misses", "objects_evacuated")
+    rows = [[key, metrics[key]] for key in interesting if key in metrics]
+    print(format_table("paging counters", ["counter", "value"], rows))
+
+
+def _boot(args, footprint: int):
+    return make_system(args.system, local_bytes_for(footprint, args.ratio))
+
+
+def cmd_sweep(args) -> int:
+    """Sweep one workload across systems and local-memory ratios, printing
+    a Figure 7/8-style table (optionally saving JSON for plotting)."""
+    from repro.harness import ratio_table
+    from repro.harness.experiment import Measurement, sweep_ratios
+    from repro.harness.results import save_json
+
+    builders = {
+        "quicksort": lambda: QuicksortWorkload(count=args.size or (1 << 16)),
+        "kmeans": lambda: KMeansWorkload(n_points=args.size or (1 << 15)),
+        "taxi": lambda: TaxiAnalyticsWorkload(rows=args.size or (1 << 16)),
+    }
+    if args.workload not in builders:
+        print(f"error: sweep supports {sorted(builders)}", file=sys.stderr)
+        return 2
+
+    def runner(kind, ratio):
+        workload = builders[args.workload]()
+        system = make_system(
+            kind, local_bytes_for(workload.footprint_bytes, ratio))
+        if kind.startswith("aifm"):
+            if args.workload != "taxi":
+                raise SystemExit(
+                    "error: only the taxi workload has an AIFM port")
+            result = workload.run_aifm(system)
+        else:
+            result = workload.run(system)
+        return Measurement("", "", 0.0, value=result.elapsed_us / 1000.0,
+                           unit="ms")
+
+    measurements = sweep_ratios(args.workload, runner, args.systems,
+                                args.ratios)
+    print(ratio_table(f"{args.workload} completion time", measurements))
+    if args.save:
+        save_json(measurements, args.save)
+        print(f"saved {len(measurements)} measurements to {args.save}")
+    return 0
+
+
+def cmd_systems(_args) -> int:
+    """List the available system keys."""
+    print(format_table("available systems", ["key"],
+                       [[kind] for kind in SYSTEM_KINDS]))
+    return 0
+
+
+def cmd_seqrw(args) -> int:
+    """Sequential read/write microbenchmark (Tables 1-3, Figure 6)."""
+    workload = SequentialWorkload(args.ws_mib * MIB)
+    system = _boot(args, workload.footprint_bytes)
+    result = workload.run(system, args.mode, verify=(args.mode == "read"))
+    _print_metrics(
+        f"{system.name}: sequential {args.mode} {result.gb_per_s:.2f} GB/s "
+        f"({result.elapsed_us / 1000:.2f} simulated ms)", result.metrics)
+    return 0
+
+
+def cmd_quicksort(args) -> int:
+    """Quicksort over a far-memory array (Figure 7(a))."""
+    workload = QuicksortWorkload(count=args.count)
+    system = _boot(args, workload.footprint_bytes)
+    result = workload.run(system, verify=True)
+    _print_metrics(
+        f"{system.name}: sorted {result.count:,} ints in "
+        f"{result.elapsed_us / 1000:.2f} simulated ms", result.metrics)
+    return 0
+
+
+def cmd_kmeans(args) -> int:
+    """K-means clustering (Figure 7(b))."""
+    workload = KMeansWorkload(n_points=args.points)
+    system = _boot(args, workload.footprint_bytes)
+    result = workload.run(system)
+    _print_metrics(
+        f"{system.name}: k-means ({result.points:,} pts, "
+        f"{result.iterations} iters) in {result.elapsed_us / 1000:.2f} ms, "
+        f"inertia {result.inertia:,.0f}", result.metrics)
+    return 0
+
+
+def cmd_snappy(args) -> int:
+    """Snappy-like compression/decompression (Figures 7(c,d))."""
+    workload = SnappyWorkload()
+    system = _boot(args, workload.footprint_bytes)
+    if args.system.startswith("aifm"):
+        runner = (workload.run_compress_aifm if args.mode == "compress"
+                  else workload.run_decompress_aifm)
+    else:
+        runner = (workload.run_compress if args.mode == "compress"
+                  else workload.run_decompress)
+    result = runner(system, verify=True)
+    _print_metrics(
+        f"{args.system}: snappy {result.mode} "
+        f"{result.input_bytes // 1024} KiB in "
+        f"{result.elapsed_us / 1000:.2f} ms", result.metrics)
+    return 0
+
+
+def cmd_taxi(args) -> int:
+    """NYC-taxi DataFrame analytics (Figure 8)."""
+    workload = TaxiAnalyticsWorkload(rows=args.rows)
+    system = _boot(args, workload.footprint_bytes)
+    result = (workload.run_aifm(system) if args.system.startswith("aifm")
+              else workload.run(system))
+    _print_metrics(
+        f"{args.system}: taxi analytics over {result.rows:,} rows in "
+        f"{result.elapsed_us / 1000:.2f} ms", result.metrics)
+    print(format_table("answers", ["query", "value"],
+                       [[k, v] for k, v in result.answers.items()]))
+    return 0
+
+
+def _build_graph(args):
+    offsets, edges = generate_power_law_graph(n=args.nodes,
+                                              target_m=args.edges)
+    footprint = (len(offsets) + len(edges)) * 8
+    system = _boot(args, footprint)
+    return system, CsrGraph(system, offsets, edges)
+
+
+def cmd_pagerank(args) -> int:
+    """GAPBS PageRank (Figure 9(a))."""
+    system, graph = _build_graph(args)
+    result = PageRankWorkload().run(system, graph)
+    _print_metrics(
+        f"{args.system}: PageRank (n={result.n:,}, m={result.m:,}) in "
+        f"{result.elapsed_us / 1000:.2f} ms; top vertex {result.top_vertex}",
+        result.metrics)
+    return 0
+
+
+def cmd_bc(args) -> int:
+    """GAPBS betweenness centrality (Figure 9(b)), optionally guided."""
+    system, graph = _build_graph(args)
+    guide = None
+    if args.guide:
+        if not args.system.startswith("dilos"):
+            print("error: --guide requires a DiLOS system", file=sys.stderr)
+            return 2
+        guide = BcFrontierGuide(graph)
+        guide.bind(system)
+    workload = BetweennessWorkload(n_sources=args.sources)
+    result = workload.run(system, graph, guide=guide)
+    _print_metrics(
+        f"{args.system}: betweenness (n={result.n:,}, "
+        f"{result.sources} sources{', app-aware guide' if guide else ''}) "
+        f"in {result.elapsed_us / 1000:.2f} ms; top vertex "
+        f"{result.top_vertex}", result.metrics)
+    return 0
+
+
+def _redis_server(args, footprint: int):
+    guide = RedisPrefetchGuide() if args.app_aware else None
+    if args.app_aware and not args.system.startswith("dilos"):
+        print("error: --app-aware requires a DiLOS system", file=sys.stderr)
+        return None
+    system = make_system(args.system, local_bytes_for(footprint, args.ratio),
+                         remote_bytes=512 * MIB)
+    return RedisServer(system, Mimalloc(system, arena_bytes=256 * MIB),
+                       guide=guide)
+
+
+def cmd_redis_get(args) -> int:
+    """Redis GET serving throughput (Figures 10(a-c))."""
+    size = "mixed" if args.value_size == "mixed" else int(args.value_size)
+    workload = GetWorkload(value_size=size, n_keys=args.keys,
+                           n_queries=args.queries)
+    server = _redis_server(args, workload.footprint_bytes)
+    if server is None:
+        return 2
+    workload.populate(server)
+    server.system.clock.advance(5000)
+    stats = workload.run(server, verify=True)
+    _print_metrics(
+        f"{args.system}: GET({args.value_size}) "
+        f"{stats.requests_per_second:,.0f} req/s, "
+        f"p99 {stats.latencies.pct(99):.1f} us", stats.metrics)
+    return 0
+
+
+def cmd_redis_lrange(args) -> int:
+    """Redis LRANGE throughput (Figure 10(d))."""
+    workload = LRangeWorkload(n_queries=args.queries)
+    server = _redis_server(args, workload.footprint_bytes)
+    if server is None:
+        return 2
+    workload.populate(server)
+    server.system.clock.advance(5000)
+    stats = workload.run(server, verify=True)
+    _print_metrics(
+        f"{args.system}: LRANGE {stats.requests_per_second:,.0f} req/s, "
+        f"p99 {stats.latencies.pct(99):.1f} us", stats.metrics)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run one DiLOS-reproduction experiment.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_system="dilos-readahead"):
+        p.add_argument("--system", default=default_system,
+                       choices=SYSTEM_KINDS)
+        p.add_argument("--ratio", type=float, default=0.125,
+                       help="local memory as a fraction of the working set")
+
+    sub.add_parser("systems", help="list system keys").set_defaults(
+        func=cmd_systems)
+
+    p = sub.add_parser("sweep", help="system x ratio grid for one workload")
+    p.add_argument("workload", choices=("quicksort", "kmeans", "taxi"))
+    p.add_argument("--systems", nargs="+",
+                   default=["fastswap", "dilos-readahead"],
+                   choices=SYSTEM_KINDS)
+    p.add_argument("--ratios", nargs="+", type=float,
+                   default=[0.125, 0.5, 1.0])
+    p.add_argument("--size", type=int, default=None,
+                   help="workload size override (elements/rows)")
+    p.add_argument("--save", default=None, help="write results JSON here")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("seqrw", help="sequential read/write microbenchmark")
+    common(p)
+    p.add_argument("--mode", choices=("read", "write"), default="read")
+    p.add_argument("--ws-mib", type=int, default=16)
+    p.set_defaults(func=cmd_seqrw)
+
+    p = sub.add_parser("quicksort", help="Figure 7(a)")
+    common(p)
+    p.add_argument("--count", type=int, default=1 << 16)
+    p.set_defaults(func=cmd_quicksort)
+
+    p = sub.add_parser("kmeans", help="Figure 7(b)")
+    common(p)
+    p.add_argument("--points", type=int, default=1 << 15)
+    p.set_defaults(func=cmd_kmeans)
+
+    p = sub.add_parser("snappy", help="Figures 7(c,d)")
+    common(p)
+    p.add_argument("--mode", choices=("compress", "decompress"),
+                   default="compress")
+    p.set_defaults(func=cmd_snappy)
+
+    p = sub.add_parser("taxi", help="Figure 8")
+    common(p)
+    p.add_argument("--rows", type=int, default=1 << 16)
+    p.set_defaults(func=cmd_taxi)
+
+    for name, func in (("pagerank", cmd_pagerank), ("bc", cmd_bc)):
+        p = sub.add_parser(name, help="Figure 9")
+        common(p)
+        p.add_argument("--nodes", type=int, default=8192)
+        p.add_argument("--edges", type=int, default=120_000)
+        if name == "bc":
+            p.add_argument("--sources", type=int, default=2)
+            p.add_argument("--guide", action="store_true",
+                           help="use the app-aware frontier guide")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("redis-get", help="Figure 10(a-c)")
+    common(p)
+    p.add_argument("--value-size", default="mixed",
+                   help="'mixed' or bytes (e.g. 4096)")
+    p.add_argument("--keys", type=int, default=300)
+    p.add_argument("--queries", type=int, default=800)
+    p.add_argument("--app-aware", action="store_true")
+    p.set_defaults(func=cmd_redis_get)
+
+    p = sub.add_parser("redis-lrange", help="Figure 10(d)")
+    common(p)
+    p.add_argument("--queries", type=int, default=700)
+    p.add_argument("--app-aware", action="store_true")
+    p.set_defaults(func=cmd_redis_lrange)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Deterministic randomness helpers for workload generators.
+
+Every generator takes an explicit seed so experiments are reproducible
+run-to-run; nothing in the package touches the global ``random`` state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def make_rng(seed: int) -> random.Random:
+    """A private ``random.Random`` stream for one workload component."""
+    return random.Random(seed)
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> List[float]:
+    """Unnormalized Zipf weights ``1/rank**skew`` for ranks ``1..n``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def zipf_sample(rng: random.Random, n: int, count: int, skew: float = 1.0) -> List[int]:
+    """Draw ``count`` indices in ``[0, n)`` from a Zipf(skew) distribution.
+
+    Used for skewed key popularity (Redis workloads) and power-law degree
+    targets (the Twitter-shaped graph generator).
+    """
+    weights = zipf_weights(n, skew)
+    return rng.choices(range(n), weights=weights, k=count)

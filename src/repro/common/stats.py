@@ -1,0 +1,133 @@
+"""Counters, histograms, and latency breakdowns.
+
+Every kernel (DiLOS, Fastswap, AIFM runtime) owns a :class:`Counter` bundle
+and a few :class:`Histogram`/:class:`LatencyBreakdown` instances; the harness
+reads them after a run to produce the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+
+def percentile(samples: Iterable[float], pct: float) -> float:
+    """Return the ``pct``-th percentile (0-100) by linear interpolation.
+
+    Raises ``ValueError`` on an empty sample set — a silent 0.0 would turn a
+    broken experiment into a plausible-looking tail latency.
+    """
+    data = sorted(samples)
+    if not data:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if len(data) == 1:
+        return data[0]
+    rank = (pct / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counter({inner})"
+
+
+class Histogram:
+    """Retains raw samples; good enough at simulation scale.
+
+    Provides mean/min/max/percentiles for tail-latency tables (Table 4).
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty histogram")
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        return min(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples)
+
+    def pct(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class LatencyBreakdown:
+    """Accumulates per-component latency for fault-handler breakdowns.
+
+    Reproduces Figures 1 and 6: each handled fault contributes its component
+    costs (hardware exception, software path, fetch wait, reclaim, ...), and
+    the figure shows per-fault averages per component.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._faults = 0
+
+    def record_fault(self, components: Dict[str, float]) -> None:
+        """Record one fault's component costs (microseconds each)."""
+        for name, value in components.items():
+            self._totals[name] += value
+        self._faults += 1
+
+    @property
+    def fault_count(self) -> int:
+        return self._faults
+
+    def averages(self) -> Dict[str, float]:
+        """Per-fault average cost of each component."""
+        if self._faults == 0:
+            return {}
+        return {k: v / self._faults for k, v in self._totals.items()}
+
+    def average_total(self) -> float:
+        if self._faults == 0:
+            raise ValueError("no faults recorded")
+        return sum(self._totals.values()) / self._faults
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._faults = 0

@@ -1,0 +1,46 @@
+"""Byte-size units and page arithmetic.
+
+The simulated machine uses 4 KiB pages, matching the paper's testbed (the
+memory node additionally backs its region with 2 MiB huge pages; that only
+affects the remote side's lookup cost, which the latency model folds into the
+wire latency).
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+def align_down(value: int, alignment: int = PAGE_SIZE) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int = PAGE_SIZE) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def pages_spanned(addr: int, size: int) -> int:
+    """Number of pages touched by ``size`` bytes starting at ``addr``."""
+    if size <= 0:
+        return 0
+    first = addr >> PAGE_SHIFT
+    last = (addr + size - 1) >> PAGE_SHIFT
+    return last - first + 1
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (``format_bytes(2.5 * GIB) == '2.5GiB'``)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            if n == int(n):
+                return f"{int(n)}{unit}"
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,31 @@
+"""DiLOS — the paper's contribution: kernel, page manager, prefetch, guides."""
+
+from repro.core.api import BaseSystem
+from repro.core.comm import CommModule
+from repro.core.config import DilosConfig
+from repro.core.dilos import DilosKernel, DilosSystem
+from repro.core.guides import (
+    AllocatorGuide,
+    GuideContext,
+    PrefetchGuide,
+    coalesce_ranges,
+)
+from repro.core.libos import LibOS
+from repro.core.loader import ElfLoader, LoadedBinary
+from repro.core.page_manager import PageManager
+
+__all__ = [
+    "AllocatorGuide",
+    "BaseSystem",
+    "CommModule",
+    "DilosConfig",
+    "DilosKernel",
+    "DilosSystem",
+    "ElfLoader",
+    "GuideContext",
+    "LibOS",
+    "LoadedBinary",
+    "PageManager",
+    "PrefetchGuide",
+    "coalesce_ranges",
+]

@@ -1,0 +1,517 @@
+"""The DiLOS kernel: unified-page-table paging for memory disaggregation.
+
+§4.2's fault handler in full:
+
+* the handler consults exactly one structure — the unified page table —
+  before issuing an asynchronous one-sided READ;
+* a REMOTE PTE flips to FETCHING so concurrent faulters wait instead of
+  duplicating the fetch;
+* the PTE hit tracker and the prefetcher run *inside* the 2-3 us window
+  while the 4 KiB page is on the wire, so they add no critical-path time;
+* fetched and prefetched pages are mapped immediately (no swap cache), so
+  the only "minor faults" left are genuine waits on in-flight pages;
+* reclamation is the page manager's background job; the handler only pops
+  a frame off a free list.
+
+ACTION PTEs carry the §4.4 guided-paging vector: pages evicted by the
+scatter-gather path are refetched as exactly their live ranges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.clock import Clock
+from repro.common.errors import InvalidAddressError
+from repro.common.stats import Counter, Histogram, LatencyBreakdown
+from repro.common.units import PAGE_SHIFT, PAGE_SIZE
+from repro.core.api import BaseSystem
+from repro.core.comm import CommModule
+from repro.core.config import DilosConfig
+from repro.core.guides import AllocatorGuide, GuideContext, PrefetchGuide
+from repro.core.page_manager import PageManager
+from repro.core.prefetch import PteHitTracker, make_prefetcher
+from repro.mem import pte as pte_mod
+from repro.mem.addrspace import AddressSpace, Region
+from repro.mem.frames import FramePool
+from repro.mem.remote import MemoryNode, NodeFailedError
+from repro.mem.vm import VirtualMemory
+from repro.net.qp import Completion
+
+Tag = pte_mod.Tag
+
+
+class _PrefetchOps:
+    """The capability surface handed to prefetch policies."""
+
+    def __init__(self, kernel: "DilosKernel") -> None:
+        self._kernel = kernel
+
+    def prefetch(self, vpn: int) -> bool:
+        return self._kernel.prefetch_vpn(vpn)
+
+    def hit_ratio(self) -> float:
+        return self._kernel.hit_tracker.hit_ratio()
+
+    def recent_faults(self) -> List[int]:
+        return list(self._kernel.recent_faults)
+
+
+class DilosKernel:
+    """Page-fault handling, prefetch, and guided paging for one node."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        config: DilosConfig,
+        addr_space: AddressSpace,
+        frames: FramePool,
+        vm: VirtualMemory,
+        node: MemoryNode,
+    ) -> None:
+        config.validate()
+        self.clock = clock
+        self.config = config
+        self.model = config.latency
+        self._as = addr_space
+        self._pt = addr_space.page_table
+        self._frames = frames
+        self._vm = vm
+        self._node = node
+        self.counters = Counter()
+        self.breakdown = LatencyBreakdown()
+        self.minor_wait = Histogram()
+        self.comm = CommModule(
+            clock, self.model, node, cores=config.cores,
+            shared_single_qp=config.shared_single_qp,
+            extra_completion_delay=(self.model.tcp_extra
+                                    if config.tcp_emulation else 0.0),
+        )
+        self.page_manager = PageManager(
+            clock, config, self._pt, frames, addr_space, vm.tlb,
+            self.comm, self.counters)
+        self.prefetcher = make_prefetcher(
+            config.prefetcher, window=config.readahead_window,
+            history=config.trend_history, max_window=config.trend_max_window)
+        self.hit_tracker = PteHitTracker(clock, self._pt, self.model)
+        self.recent_faults: deque = deque(maxlen=64)
+        self._ops = _PrefetchOps(self)
+        self._prefetch_guide: Optional[PrefetchGuide] = None
+        self._guide_ctx = GuideContext(self)
+        #: fetch token -> completion time, for FETCHING-PTE waiters.
+        self._fetch_ready: Dict[int, float] = {}
+        self._next_token = 1
+        #: Ablation state: prefetched frames parked behind an indirection.
+        self._swap_cache: Dict[int, int] = {}
+        vm.attach_kernel(self.handle_fault)
+        self.page_manager.start()
+
+    # -- guide registration --------------------------------------------------
+
+    def register_prefetch_guide(self, guide: Optional[PrefetchGuide]) -> None:
+        """Install an app-aware prefetcher (a third-party binary in the
+        paper's deployment model; see §4.1)."""
+        self._prefetch_guide = guide
+
+    def register_allocator_guide(self, guide: Optional[AllocatorGuide]) -> None:
+        """Install the allocator guide used by §4.4 guided paging."""
+        self.page_manager.set_allocator_guide(guide)
+
+    # -- the page fault handler (§4.2) ------------------------------------------
+
+    def handle_fault(self, va: int, is_write: bool) -> None:
+        clock = self.clock
+        model = self.model
+        vpn = va >> PAGE_SHIFT
+        clock.advance(model.hw_exception + model.os_fault_entry)
+        clock.advance(model.dilos_pte_check)
+        entry = self._pt.get(vpn)
+        tag = pte_mod.classify(entry)
+
+        if tag is Tag.LOCAL:
+            # A prefetch install landed between the access and the handler
+            # reading the PTE: the page is already here, no IO needed —
+            # DiLOS' analogue of a minor fault.
+            self.counters.add("minor_faults")
+            self.counters.add("resolved_during_exception")
+            return
+
+        if tag is Tag.FETCHING:
+            self._wait_for_fetch(entry)
+            return
+
+        if tag is Tag.INVALID:
+            self._first_touch(vpn, va)
+            return
+
+        # REMOTE or ACTION: a major fault.
+        if tag is Tag.REMOTE and self._swap_cache:
+            frame = self._swap_cache.pop(vpn, None)
+            if frame is not None:
+                # Ablation path: the page already arrived but sits behind
+                # the swap-cache indirection; pay a minor fault to map it.
+                clock.advance(model.fastswap_minor_fault)
+                self._map(vpn, frame, dirty=False)
+                self.counters.add("minor_faults")
+                return
+        self._major_fault(vpn, va, entry, tag)
+
+    def _wait_for_fetch(self, entry: int) -> None:
+        """Spin until a concurrent fetch of this page completes."""
+        token = pte_mod.payload(entry)
+        self.counters.add("minor_faults")
+        self.clock.advance(self.model.dilos_wait_fetch)
+        ready = self._fetch_ready.get(token)
+        if ready is None:
+            return  # installed during our own advance; retry will hit LOCAL
+        waited = max(0.0, ready - self.clock.now)
+        self.minor_wait.record(waited)
+        self.clock.advance_to(ready)
+
+    def _first_touch(self, vpn: int, va: int) -> None:
+        """Zero-fill a never-materialized page of a mapped region."""
+        region = self._as.region_for(va)  # raises InvalidAddressError
+        frame, inline_us = self.page_manager.alloc_frame_for_fault()
+        self.clock.advance(self.model.dilos_page_alloc + self.model.dilos_map)
+        # Born dirty: the remote copy does not exist yet, and the eviction
+        # invariant is "clean implies remote copy current".
+        self._pt.set(vpn, pte_mod.make_local(frame, dirty=True,
+                                             writable=region.writable))
+        if region.ddc:
+            self.page_manager.insert(vpn)
+        self.counters.add("first_touch_faults")
+        if inline_us:
+            self.counters.add("first_touch_inline_reclaims")
+
+    def _major_fault(self, vpn: int, va: int, entry: int, tag: Tag) -> None:
+        clock = self.clock
+        model = self.model
+        self.counters.add("major_faults")
+        self.recent_faults.append(vpn)
+        components = {
+            "exception": model.hw_exception + model.os_fault_entry,
+            "software": model.dilos_pte_check + model.dilos_map
+                        + model.dilos_page_alloc,
+        }
+
+        frame, inline_us = self.page_manager.alloc_frame_for_fault()
+        clock.advance(model.dilos_page_alloc)
+        components["reclaim"] = inline_us
+
+        token = self._issue_fetch(vpn, frame, entry, tag, module="fault")
+        issue_time = clock.now
+        ready = self._fetch_ready.get(token)
+
+        if ready is None:
+            # Empty guided-paging vector: the page had no live bytes and is
+            # rebuilt as zeros with no wire traffic at all.
+            components["fetch"] = 0.0
+        else:
+            # The fetch window: run the guide or the default prefetcher and
+            # the hit tracker while the 4 KiB page is on the wire.
+            handled = False
+            if self._prefetch_guide is not None:
+                handled = self._prefetch_guide.on_fault(self._guide_ctx, va)
+                if handled:
+                    self.counters.add("guide_handled_faults")
+            if not handled:
+                self.hit_tracker.scan()
+                self.prefetcher.on_major_fault(vpn, self._ops)
+            ready = self._fetch_ready.get(token, ready)
+            clock.advance_to(ready)
+            components["fetch"] = clock.now - issue_time
+
+        clock.advance(model.dilos_map)
+        self.breakdown.record_fault(components)
+
+    # -- fetch machinery ---------------------------------------------------------
+
+    def _issue_fetch(self, vpn: int, frame: int, entry: int, tag: Tag,
+                     module: str) -> int:
+        """Flip the PTE to FETCHING and post the READ; returns the token."""
+        token = self._next_token
+        self._next_token += 1
+        self._pt.set(vpn, pte_mod.make_fetching(token))
+        remote_off = self._as.remote_offset_for(vpn)
+        into_cache = module == "prefetch" and self.config.swap_cache_mode
+
+        try:
+            return self._post_fetch(vpn, frame, entry, tag, token,
+                                    remote_off, module, into_cache)
+        except NodeFailedError:
+            # The memory node died mid-fetch: roll the PTE back and free
+            # the frame so the fault can be retried (or surfaced) cleanly.
+            self._pt.set(vpn, entry)
+            self._frames.free(frame)
+            self._fetch_ready.pop(token, None)
+            self.counters.add("fetch_node_failures")
+            raise
+
+    def _post_fetch(self, vpn: int, frame: int, entry: int, tag: Tag,
+                    token: int, remote_off: int, module: str,
+                    into_cache: bool) -> int:
+        if tag is Tag.ACTION:
+            vector = self.page_manager.action_vector(vpn)
+            self.counters.add("action_fetches")
+            if not vector:
+                self._install(vpn, frame, token, None, into_cache)
+                return token
+            segments = [(remote_off + off, length) for off, length in vector]
+            completion = self.comm.qp(module).post_read_sg(
+                segments,
+                on_complete=lambda c, v=vector: self._install_sg(
+                    vpn, frame, token, v, c, into_cache))
+        else:
+            completion = self.comm.qp(module).post_read(
+                remote_off, PAGE_SIZE,
+                on_complete=lambda c: self._install(
+                    vpn, frame, token, c.data, into_cache))
+        self._fetch_ready[token] = completion.time
+        return token
+
+    def _install_sg(self, vpn: int, frame: int, token: int,
+                    vector: List, completion: Completion,
+                    into_cache: bool) -> None:
+        """Scatter a guided fetch's segments into a zeroed frame."""
+        data = self._frames.data(frame)
+        cursor = 0
+        payload = completion.data
+        for off, length in vector:
+            data[off:off + length] = payload[cursor:cursor + length]
+            cursor += length
+        self._install(vpn, frame, token, None, into_cache)
+
+    def _install(self, vpn: int, frame: int, token: int,
+                 data: Optional[bytes], into_cache: bool) -> None:
+        """Map a fetched page (or park it in the ablation swap cache)."""
+        expected = pte_mod.make_fetching(token)
+        if self._pt.get(vpn) != expected:
+            # The mapping vanished mid-flight (munmap); drop the page.
+            self._frames.free(frame)
+            self._fetch_ready.pop(token, None)
+            self.counters.add("fetches_dropped")
+            return
+        if data is not None:
+            self._frames.data(frame)[:] = data
+        self._fetch_ready.pop(token, None)
+        if into_cache:
+            self._pt.set(vpn, pte_mod.make_remote(self._as.remote_pfn_for(vpn)))
+            self._swap_cache[vpn] = frame
+            self.counters.add("swap_cache_installs")
+            return
+        self._map(vpn, frame, dirty=False)
+
+    def _map(self, vpn: int, frame: int, dirty: bool) -> None:
+        region = self._as.region_for(vpn << PAGE_SHIFT)
+        self._pt.set(vpn, pte_mod.make_local(frame, dirty=dirty,
+                                             writable=region.writable))
+        self.page_manager.insert(vpn)
+
+    # -- prefetch (§4.3) -----------------------------------------------------------
+
+    def prefetch_vpn(self, vpn: int) -> bool:
+        """Async prefetch of ``vpn`` on the prefetch QP; False if skipped."""
+        entry = self._pt.get(vpn)
+        tag = pte_mod.classify(entry)
+        if tag not in (Tag.REMOTE, Tag.ACTION):
+            return False
+        frame = self.page_manager.alloc_frame_for_prefetch()
+        if frame is None:
+            return False
+        try:
+            token = self._issue_fetch(vpn, frame, entry, tag,
+                                      module="prefetch")
+        except NodeFailedError:
+            # A dead node must not take down speculative work.
+            return False
+        self.counters.add("prefetches_issued")
+        ready = self._fetch_ready.get(token)
+        if ready is not None:
+            self.clock.call_at(ready, lambda: self.hit_tracker.note_installed(vpn))
+        return True
+
+    # -- guide support (§4.3/§4.4) ----------------------------------------------------
+
+    def guide_subpage_fetch(self, va: int, size: int,
+                            callback: Callable[[bytes], None],
+                            core: int = 0) -> bool:
+        """Fetch ``size`` bytes at ``va`` on the guide QP (subpaging)."""
+        if size <= 0:
+            raise ValueError("subpage size must be positive")
+        first_vpn = va >> PAGE_SHIFT
+        entry = self._pt.get(first_vpn)
+        tag = pte_mod.classify(entry)
+        if tag is Tag.LOCAL:
+            data = self.peek_local(va, size)
+            if data is not None:
+                callback(data)
+                return True
+            return False
+        if tag is Tag.INVALID:
+            return False
+        # Build per-page segments (remote slots are not VA-contiguous).
+        segments = []
+        cursor = va
+        remaining = size
+        while remaining > 0:
+            vpn = cursor >> PAGE_SHIFT
+            if not self._as.has_remote_backing(vpn):
+                return False
+            offset = cursor & (PAGE_SIZE - 1)
+            length = min(PAGE_SIZE - offset, remaining)
+            segments.append((self._as.remote_offset_for(vpn) + offset, length))
+            cursor += length
+            remaining -= length
+        qp = self.comm.qp("guide", core)
+        if len(segments) == 1:
+            qp.post_read(segments[0][0], segments[0][1],
+                         on_complete=lambda c: callback(c.data))
+        else:
+            qp.post_read_sg(segments, on_complete=lambda c: callback(c.data))
+        self.counters.add("guide_subpage_fetches")
+        return True
+
+    def peek_local(self, va: int, size: int) -> Optional[bytes]:
+        """Read resident bytes without faulting; None if any page is out."""
+        parts = []
+        cursor = va
+        remaining = size
+        while remaining > 0:
+            vpn = cursor >> PAGE_SHIFT
+            entry = self._pt.get(vpn)
+            if not pte_mod.is_present(entry):
+                return None
+            offset = cursor & (PAGE_SIZE - 1)
+            length = min(PAGE_SIZE - offset, remaining)
+            frame = pte_mod.frame_of(entry)
+            parts.append(bytes(self._frames.data(frame)[offset:offset + length]))
+            cursor += length
+            remaining -= length
+        return b"".join(parts)
+
+    # -- madvise (§5 compatibility layer) -----------------------------------------
+
+    def madvise_willneed(self, va: int, size: int) -> int:
+        """MADV_WILLNEED: prefetch the range's remote pages; returns the
+        number of prefetches issued (capped by the frame reserve)."""
+        if size <= 0:
+            raise ValueError("madvise range must be positive")
+        issued = 0
+        first = va >> PAGE_SHIFT
+        last = (va + size - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            if self.prefetch_vpn(vpn):
+                issued += 1
+        self.counters.add("madvise_willneed_pages", issued)
+        return issued
+
+    def madvise_dontneed(self, va: int, size: int) -> int:
+        """MADV_DONTNEED: discard the range's pages — frames are freed
+        without write-back and the contents revert to zero on next touch
+        (Linux semantics for anonymous memory). Returns pages dropped."""
+        if size <= 0:
+            raise ValueError("madvise range must be positive")
+        dropped = 0
+        first = va >> PAGE_SHIFT
+        last = (va + size - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            entry = self._pt.get(vpn)
+            tag = pte_mod.classify(entry)
+            if tag is Tag.FETCHING:
+                # Let the in-flight fetch land, then discard.
+                ready = self._fetch_ready.get(pte_mod.payload(entry))
+                if ready is not None:
+                    self.clock.advance_to(ready)
+                entry = self._pt.get(vpn)
+                tag = pte_mod.classify(entry)
+            if tag is Tag.LOCAL:
+                self._frames.free(pte_mod.frame_of(entry))
+            elif tag is Tag.INVALID:
+                continue
+            self._pt.set(vpn, 0)
+            self._vm.tlb.invalidate(vpn)
+            self.page_manager.drop(vpn)
+            self._as.release_remote(vpn)
+            dropped += 1
+        self.counters.add("madvise_dontneed_pages", dropped)
+        return dropped
+
+    # -- teardown -----------------------------------------------------------------
+
+    def release_region(self, region: Region) -> None:
+        """Free every page of a region (munmap)."""
+        first = region.base >> PAGE_SHIFT
+        last = (region.end - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            entry = self._pt.get(vpn)
+            tag = pte_mod.classify(entry)
+            if tag is Tag.LOCAL:
+                self._frames.free(pte_mod.frame_of(entry))
+            elif tag is Tag.FETCHING:
+                # The in-flight install will see a cleared PTE and drop it.
+                pass
+            cached = self._swap_cache.pop(vpn, None)
+            if cached is not None:
+                self._frames.free(cached)
+            self._pt.set(vpn, 0)
+            self._vm.tlb.invalidate(vpn)
+            self.page_manager.drop(vpn)
+            self._as.release_remote(vpn)
+
+
+class DilosSystem(BaseSystem):
+    """A booted DiLOS computing node attached to a fresh memory node."""
+
+    def __init__(self, config: Optional[DilosConfig] = None,
+                 memory_backend=None) -> None:
+        """Boot a node; ``memory_backend`` overrides the default single
+        memory node (e.g. a sharded/replicated cluster from
+        :mod:`repro.mem.cluster`)."""
+        self.config = config or DilosConfig()
+        self.config.validate()
+        self.clock = Clock()
+        self.model = self.config.latency
+        self.node = memory_backend or MemoryNode(self.config.remote_mem_bytes)
+        self.frames = FramePool(self.config.local_mem_bytes // PAGE_SIZE)
+        self.addr_space = AddressSpace(self.node)
+        self.vm = VirtualMemory(self.clock, self.addr_space.page_table,
+                                self.frames, self.model.cpu_copy_per_byte)
+        self.kernel = DilosKernel(self.clock, self.config, self.addr_space,
+                                  self.frames, self.vm, self.node)
+
+    @property
+    def name(self) -> str:
+        if self.config.tcp_emulation:
+            return "DiLOS-TCP"
+        return f"DiLOS with {self.config.prefetcher}-prefetch"
+
+    @property
+    def sync_overhead_us(self) -> float:
+        return self.model.sync_overhead_osv
+
+    def munmap(self, region: Region) -> None:
+        self.kernel.release_region(region)
+        self.addr_space.munmap(region)
+
+    def metrics(self) -> Dict[str, Any]:
+        k = self.kernel.counters
+        result = {
+            "system": self.name,
+            "time_us": self.clock.now,
+            "major_faults": k.get("major_faults"),
+            "minor_faults": k.get("minor_faults"),
+            "first_touch_faults": k.get("first_touch_faults"),
+            "prefetches_issued": k.get("prefetches_issued"),
+            "direct_reclaims": k.get("direct_reclaims"),
+            "pages_evicted": k.get("pages_evicted"),
+            "pages_cleaned": k.get("pages_cleaned"),
+            "net_bytes_read": self.kernel.comm.stats.bytes_read,
+            "net_bytes_written": self.kernel.comm.stats.bytes_written,
+            "tlb_hits": self.vm.tlb.hits,
+            "tlb_misses": self.vm.tlb.misses,
+            "prefetch_hit_ratio": self.kernel.hit_tracker.hit_ratio(),
+        }
+        result.update({f"counter.{name}": value
+                       for name, value in k.as_dict().items()})
+        return result

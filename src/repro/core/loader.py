@@ -1,0 +1,76 @@
+"""The compatibility layer: a model of DiLOS' custom ELF loader (§5).
+
+DiLOS loads unmodified Linux binaries and patches their symbol tables so
+``malloc``/``free`` resolve to the DDC allocator (``ddc_malloc`` uses
+``mmap(MAP_DDC)`` memory underneath). Guides use the same loader to *hook*
+application functions — wrap a symbol with an observer — which is how the
+Redis prefetch guide learns the traversal position without any change to
+the Redis source.
+
+In the simulation an "application binary" is a symbol table mapping names
+to callables; workloads that want binary compatibility call through
+:class:`LoadedBinary` rather than holding direct references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+Symbol = Callable[..., Any]
+
+
+class LoadedBinary:
+    """An application binary after loading: a patched symbol table."""
+
+    def __init__(self, symbols: Dict[str, Symbol]) -> None:
+        self._symbols = dict(symbols)
+
+    def sym(self, name: str) -> Symbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol {name!r}") from None
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        return self.sym(name)(*args, **kwargs)
+
+    def defined(self, name: str) -> bool:
+        return name in self._symbols
+
+    def _rebind(self, name: str, target: Symbol) -> None:
+        self._symbols[name] = target
+
+
+class ElfLoader:
+    """Loads binaries, patching allocation symbols to their DDC versions."""
+
+    #: Symbols rewritten at load time to DDC equivalents.
+    PATCHED = ("malloc", "free")
+
+    def __init__(self, ddc_malloc: Symbol, ddc_free: Symbol) -> None:
+        self._ddc_malloc = ddc_malloc
+        self._ddc_free = ddc_free
+        self.patched_symbols = 0
+
+    def load(self, symbols: Dict[str, Symbol]) -> LoadedBinary:
+        """Load a binary; its malloc/free now allocate disaggregated memory."""
+        binary = LoadedBinary(symbols)
+        if binary.defined("malloc"):
+            binary._rebind("malloc", self._ddc_malloc)
+            self.patched_symbols += 1
+        if binary.defined("free"):
+            binary._rebind("free", self._ddc_free)
+            self.patched_symbols += 1
+        return binary
+
+    @staticmethod
+    def hook(binary: LoadedBinary, name: str,
+             wrapper: Callable[[Symbol], Symbol]) -> None:
+        """Wrap symbol ``name``: ``wrapper(original)`` replaces it.
+
+        This is the guide hooking interface of §5 — guides observe
+        application calls (e.g. a list-traversal entry point) without the
+        application being modified.
+        """
+        original = binary.sym(name)
+        binary._rebind(name, wrapper(original))

@@ -1,0 +1,301 @@
+"""DiLOS' page manager (§4.4): allocator, cleaner, reclaimer.
+
+The design goal is that the fault path *never* pays for reclamation (the
+29% Fastswap spends in Figure 1). The manager keeps a reserve of free
+frames between two watermarks; a background thread (modeled as a periodic
+clock timer running on a spare core, so it charges no application CPU)
+rotates a clock hand over the LRU list:
+
+* accessed pages get their accessed bit cleared (second chance);
+* dirty pages are *cleaned* — written back asynchronously on the manager's
+  own QP, optionally as a scatter-gather vector of live ranges when an
+  allocator guide is installed (guided paging);
+* clean, cold pages are evicted: PTE flips to REMOTE (or ACTION carrying
+  the live-range vector) and the frame returns to the free list.
+
+Invariant: a present PTE with a clear dirty bit implies the remote copy is
+current (zero-filled pages are therefore born dirty). Eviction only ever
+takes clean pages, so it never loses data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock
+from repro.common.errors import OutOfMemoryError
+from repro.common.stats import Counter
+from repro.common.units import PAGE_SIZE
+from repro.core.comm import CommModule
+from repro.core.config import DilosConfig
+from repro.core.guides import AllocatorGuide, coalesce_ranges
+from repro.mem import pte as pte_mod
+from repro.mem.addrspace import AddressSpace
+from repro.mem.frames import FramePool
+from repro.mem.page_table import PageTable
+from repro.mem.remote import NodeFailedError
+from repro.mem.tlb import Tlb
+
+Range = Tuple[int, int]
+
+#: Cap on scatter-gather vector length (§6.3: longer vectors slow sharply).
+MAX_SG_SEGMENTS = 3
+
+
+class PageManager:
+    """Free-list allocator with watermark-driven background reclamation."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        config: DilosConfig,
+        page_table: PageTable,
+        frames: FramePool,
+        addr_space: AddressSpace,
+        tlb: Tlb,
+        comm: CommModule,
+        counters: Counter,
+    ) -> None:
+        self._clock = clock
+        self._config = config
+        self._model = config.latency
+        self._pt = page_table
+        self._frames = frames
+        self._as = addr_space
+        self._tlb = tlb
+        self._comm = comm
+        self.counters = counters
+        total = frames.total_frames
+        # Watermarks scale with the pool but never reserve more than a
+        # quarter of it — a tiny cache must still mostly hold pages.
+        self.low_watermark = max(4, int(total * config.low_watermark_frac))
+        self.high_watermark = min(
+            max(self.low_watermark + 4, int(total * config.high_watermark_frac),
+                min(40, total // 8)),
+            max(self.low_watermark + 4, total // 4))
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self._allocator_guide: Optional[AllocatorGuide] = None
+        #: vpn -> live-range vector recorded at the page's last cleaning;
+        #: None means the full page was written back.
+        self._clean_vectors: Dict[int, Optional[List[Range]]] = {}
+        self._timer_armed = False
+
+    # -- configuration -------------------------------------------------------
+
+    def set_allocator_guide(self, guide: Optional[AllocatorGuide]) -> None:
+        self._allocator_guide = guide
+
+    def start(self) -> None:
+        """Arm the background thread's periodic wakeup."""
+        if not self._timer_armed and not self._config.direct_reclaim_only:
+            self._timer_armed = True
+            self._clock.call_after(self._config.cleaner_period_us, self._tick)
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc_frame_for_fault(self) -> Tuple[int, float]:
+        """A frame for the fault path; returns ``(frame, inline_reclaim_us)``.
+
+        ``inline_reclaim_us`` is nonzero only when eager background
+        reclamation fell behind (or the ``direct_reclaim_only`` ablation is
+        on) and the handler had to reclaim synchronously — the cost DiLOS'
+        design exists to avoid.
+        """
+        inline_us = 0.0
+        if self._config.direct_reclaim_only:
+            if self._frames.free_frames <= self.low_watermark:
+                inline_us += self._direct_reclaim(
+                    self.high_watermark - self._frames.free_frames)
+        elif self._frames.free_frames == 0:
+            inline_us += self._direct_reclaim(self.low_watermark)
+        if self._frames.free_frames == 0:
+            raise OutOfMemoryError("no reclaimable local pages")
+        return self._frames.alloc(), inline_us
+
+    def alloc_frame_for_prefetch(self) -> Optional[int]:
+        """A frame for prefetch; never dips into the fault-path reserve."""
+        if self._frames.free_frames <= self.low_watermark:
+            self.counters.add("prefetch_skipped_no_frames")
+            return None
+        return self._frames.alloc()
+
+    def insert(self, vpn: int) -> None:
+        """Register a newly mapped page with the LRU clock."""
+        self._lru[vpn] = None
+        self._lru.move_to_end(vpn)
+
+    def drop(self, vpn: int) -> None:
+        """Forget a page (munmap/free); caller handles PTE and frame."""
+        self._lru.pop(vpn, None)
+        self._clean_vectors.pop(vpn, None)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._lru)
+
+    # -- guided paging accessors ------------------------------------------------
+
+    def action_vector(self, vpn: int) -> List[Range]:
+        """The live-range vector recorded for an ACTION-evicted page."""
+        vector = self._clean_vectors.get(vpn)
+        if vector is None:
+            raise ValueError(f"page {vpn:#x} has no recorded action vector")
+        return vector
+
+    # -- background thread -------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.cleaner_pass(self._config.clean_batch)
+        deficit = self.high_watermark - self._frames.free_frames
+        if deficit > 0:
+            self.reclaimer_pass(min(deficit, self._config.reclaim_batch))
+        self._clock.call_after(self._config.cleaner_period_us, self._tick)
+
+    def cleaner_pass(self, budget: int) -> int:
+        """Write back up to ``budget`` dirty pages; returns pages cleaned."""
+        cleaned = 0
+        for vpn in self._rotate(budget, second_chance=False):
+            entry = self._pt.get(vpn)
+            if pte_mod.is_dirty(entry):
+                self._clean(vpn, entry)
+                cleaned += 1
+        return cleaned
+
+    def reclaimer_pass(self, target: int) -> int:
+        """Evict up to ``target`` cold clean pages; returns pages evicted."""
+        evicted = 0
+        # Each rotation examines at most the whole LRU once.
+        for vpn in self._rotate(len(self._lru), second_chance=True):
+            if evicted >= target:
+                break
+            entry = self._pt.get(vpn)
+            if pte_mod.is_dirty(entry):
+                self._clean(vpn, entry)
+                entry = self._pt.get(vpn)
+                if pte_mod.is_dirty(entry):
+                    continue  # write-back failed (node down); not evictable
+            self._evict(vpn, entry)
+            evicted += 1
+        return evicted
+
+    def _rotate(self, budget: int, second_chance: bool):
+        """Advance the clock hand; yields candidate VPNs.
+
+        Pages whose accessed bit is set get the bit cleared and go to the
+        back of the list instead of being yielded (when ``second_chance``).
+        Stale entries (already unmapped) are dropped silently.
+        """
+        for _ in range(min(budget, len(self._lru))):
+            if not self._lru:
+                return
+            vpn, _ = self._lru.popitem(last=False)
+            entry = self._pt.get(vpn)
+            if not pte_mod.is_present(entry):
+                self._clean_vectors.pop(vpn, None)
+                continue
+            if second_chance and pte_mod.is_accessed(entry):
+                self._pt.set(vpn, pte_mod.clear_accessed(entry))
+                self._tlb.invalidate(vpn)
+                self._lru[vpn] = None
+                continue
+            self._lru[vpn] = None  # keep position until caller evicts
+            self._lru.move_to_end(vpn)
+            yield vpn
+
+    # -- clean & evict ----------------------------------------------------------
+
+    def _clean(self, vpn: int, entry: int) -> None:
+        """Write a dirty page's (live) bytes back to the memory node."""
+        frame = pte_mod.frame_of(entry)
+        data = self._frames.data(frame)
+        remote_off = self._as.remote_offset_for(vpn)
+        qp = self._comm.qp("manager")
+        vector: Optional[List[Range]] = None
+        if self._config.guided_paging and self._allocator_guide is not None:
+            ranges = self._allocator_guide.live_ranges(vpn)
+            if ranges is not None:
+                vector = coalesce_ranges(ranges, MAX_SG_SEGMENTS, PAGE_SIZE)
+        try:
+            if vector is None:
+                qp.post_write(remote_off, bytes(data))
+                self.counters.add("cleaned_full_pages")
+            elif vector:
+                qp.post_write_sg(
+                    [(remote_off + off, bytes(data[off:off + length]))
+                     for off, length in vector])
+                self.counters.add("cleaned_guided_pages")
+            else:
+                # No live bytes at all: nothing to write.
+                self.counters.add("cleaned_empty_pages")
+        except NodeFailedError:
+            # Leave the page dirty; the cleaner retries next pass (and an
+            # unprotected backend keeps the data safe locally meanwhile).
+            self.counters.add("writeback_node_failures")
+            return
+        self._clean_vectors[vpn] = vector
+        self._pt.set(vpn, pte_mod.clear_dirty(entry))
+        self._tlb.invalidate(vpn)
+        self.counters.add("pages_cleaned")
+
+    def _evict(self, vpn: int, entry: int) -> None:
+        """Unmap a clean page and free its frame."""
+        assert not pte_mod.is_dirty(entry), "evicting a dirty page"
+        frame = pte_mod.frame_of(entry)
+        vector = self._refresh_vector(vpn)
+        if self._config.guided_paging and vector is not None:
+            self._clean_vectors[vpn] = vector
+            self._pt.set(vpn, pte_mod.make_action(vpn))
+        else:
+            self._pt.set(vpn, pte_mod.make_remote(self._as.remote_pfn_for(vpn)))
+        self._tlb.invalidate(vpn)
+        self._frames.free(frame)
+        self._lru.pop(vpn, None)
+        self.counters.add("pages_evicted")
+
+    def _refresh_vector(self, vpn: int) -> Optional[List[Range]]:
+        """Re-ask the guide for live ranges at eviction time (§4.4).
+
+        Frees (e.g. Redis DEL) clear allocator bitmaps without dirtying the
+        page, so the live set can shrink after the last cleaning; the
+        shrunken set is always covered by what the last write-back put on
+        the memory node (any *new* allocation is written by the
+        application, which dirties the page and forces a re-clean before
+        the next eviction). Returns None when guided paging is off, the
+        guide does not manage this page, or the full page must transfer.
+        """
+        if not self._config.guided_paging or self._allocator_guide is None:
+            return None
+        ranges = self._allocator_guide.live_ranges(vpn)
+        if ranges is None:
+            # Not an allocator page: guided only if the last clean recorded
+            # a vector (it never does for foreign pages).
+            return self._clean_vectors.get(vpn)
+        return coalesce_ranges(ranges, MAX_SG_SEGMENTS, PAGE_SIZE)
+
+    def _direct_reclaim(self, want: int) -> float:
+        """Inline reclamation on the fault path; returns CPU time charged."""
+        start_free = self._frames.free_frames
+        cleaned_inline = 0
+        scanned = 0
+        for vpn in self._rotate(len(self._lru), second_chance=False):
+            scanned += 1
+            if self._frames.free_frames - start_free >= want:
+                break
+            entry = self._pt.get(vpn)
+            if pte_mod.is_dirty(entry):
+                self._clean(vpn, entry)
+                cleaned_inline += 1
+                entry = self._pt.get(vpn)
+                if pte_mod.is_dirty(entry):
+                    continue  # write-back failed (node down); not evictable
+            self._evict(vpn, entry)
+        reclaimed = self._frames.free_frames - start_free
+        self.counters.add("direct_reclaims")
+        self.counters.add("direct_reclaimed_pages", reclaimed)
+        # The write-back wire time of inline cleans is not hidden: Fastswap
+        # style direct reclaim pays it on the critical path.
+        cost = (scanned * self._model.fastswap_reclaim_per_page
+                + cleaned_inline * self._model.rdma_write_latency(PAGE_SIZE))
+        self._clock.advance(cost)
+        return cost

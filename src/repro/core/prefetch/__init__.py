@@ -1,0 +1,33 @@
+"""DiLOS page prefetchers (§4.3): readahead, Leap trend-based, hit tracker."""
+
+from repro.core.prefetch.base import NoPrefetcher, Prefetcher, PrefetchOps
+from repro.core.prefetch.readahead import ReadaheadPrefetcher
+from repro.core.prefetch.tracker import PteHitTracker
+from repro.core.prefetch.stride import StridePrefetcher
+from repro.core.prefetch.trend import TrendPrefetcher
+
+
+def make_prefetcher(name: str, window: int = 8, history: int = 32,
+                    max_window: int = 8) -> Prefetcher:
+    """Build a prefetcher by its §6 presentation name."""
+    if name == "none":
+        return NoPrefetcher()
+    if name == "readahead":
+        return ReadaheadPrefetcher(base_window=window)
+    if name == "trend":
+        return TrendPrefetcher(history=history, max_window=max_window)
+    if name == "stride":
+        return StridePrefetcher(max_window=max_window)
+    raise ValueError(f"unknown prefetcher {name!r}")
+
+
+__all__ = [
+    "NoPrefetcher",
+    "Prefetcher",
+    "PrefetchOps",
+    "PteHitTracker",
+    "ReadaheadPrefetcher",
+    "StridePrefetcher",
+    "TrendPrefetcher",
+    "make_prefetcher",
+]

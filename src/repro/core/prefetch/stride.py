@@ -1,0 +1,90 @@
+"""A multi-stream stride prefetcher (extension beyond the paper's two).
+
+Readahead assumes one forward stream; Leap's majority vote assumes one
+dominant stride across *all* faults. Neither handles a workload that
+interleaves several independent sequential streams — e.g. quicksort's
+partition walking the array from both ends, or a merge reading two runs.
+This prefetcher keeps a small table of streams (classic IP/stream stride
+prefetching, as in hardware L2 prefetchers): each fault is matched to the
+stream whose prediction it hits (confidence up) or whose last address is
+nearest (stride retrained); confident streams prefetch along their own
+stride. It plugs into the same :class:`PrefetchOps` interface, selected
+with ``prefetcher="stride"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.prefetch.base import Prefetcher, PrefetchOps
+
+
+class _Stream:
+    __slots__ = ("last_vpn", "stride", "confidence", "age")
+
+    def __init__(self, vpn: int) -> None:
+        self.last_vpn = vpn
+        self.stride = 0
+        self.confidence = 0
+        self.age = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-stream stride detection over a small LRU stream table."""
+
+    name = "stride"
+
+    #: A fault within this many pages of a stream's last access retrains
+    #: that stream instead of allocating a new one.
+    MATCH_DISTANCE = 64
+    #: Predictions needed before a stream may prefetch.
+    MIN_CONFIDENCE = 2
+
+    def __init__(self, max_streams: int = 8, max_window: int = 8) -> None:
+        if max_streams < 1 or max_window < 1:
+            raise ValueError("need at least one stream and a window")
+        self.max_streams = max_streams
+        self.max_window = max_window
+        self._streams: List[_Stream] = []
+        self.issued = 0
+
+    def _find_stream(self, vpn: int) -> Optional[_Stream]:
+        # Exact prediction hit first, then nearest within range.
+        best = None
+        best_distance = self.MATCH_DISTANCE + 1
+        for stream in self._streams:
+            if stream.stride and stream.last_vpn + stream.stride == vpn:
+                return stream
+            distance = abs(vpn - stream.last_vpn)
+            if distance < best_distance:
+                best = stream
+                best_distance = distance
+        return best if best_distance <= self.MATCH_DISTANCE else None
+
+    def on_major_fault(self, vpn: int, ops: PrefetchOps) -> None:
+        for stream in self._streams:
+            stream.age += 1
+        stream = self._find_stream(vpn)
+        if stream is None:
+            if len(self._streams) >= self.max_streams:
+                self._streams.remove(max(self._streams, key=lambda s: s.age))
+            self._streams.append(_Stream(vpn))
+            return
+        stride = vpn - stream.last_vpn
+        if stride == 0:
+            return
+        if stride == stream.stride:
+            stream.confidence = min(stream.confidence + 1, 8)
+        else:
+            stream.stride = stride
+            stream.confidence = 1
+        stream.last_vpn = vpn
+        stream.age = 0
+        if stream.confidence < self.MIN_CONFIDENCE:
+            return
+        window = max(1, min(self.max_window,
+                            int(round(self.max_window * ops.hit_ratio()))))
+        for step in range(1, window):
+            target = vpn + stream.stride * step
+            if target >= 0 and ops.prefetch(target):
+                self.issued += 1

@@ -1,0 +1,76 @@
+"""Leap's majority-trend prefetcher [49], as shipped in DiLOS.
+
+Leap detects the dominant stride in the recent page-access history with a
+Boyer-Moore majority vote over consecutive deltas. With a majority stride it
+prefetches along that stride; without one (irregular access) it stays quiet,
+which is why both general-purpose prefetchers gain nothing on Redis LRANGE
+(§6.2) — pointer-chasing has no majority stride.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.prefetch.base import Prefetcher, PrefetchOps
+
+
+def majority_delta(deltas) -> Optional[int]:
+    """Boyer-Moore majority vote; returns the delta only if it truly holds
+    a strict majority of the samples."""
+    deltas = list(deltas)
+    if not deltas:
+        return None
+    candidate, count = deltas[0], 0
+    for delta in deltas:
+        if count == 0:
+            candidate = delta
+        count += 1 if delta == candidate else -1
+    if sum(1 for d in deltas if d == candidate) * 2 > len(deltas):
+        return candidate
+    return None
+
+
+class TrendPrefetcher(Prefetcher):
+    """Majority-stride detection with hit-ratio window scaling."""
+
+    name = "trend"
+
+    #: Need at least this many delta samples before trusting a trend.
+    MIN_SAMPLES = 4
+
+    def __init__(self, history: int = 32, max_window: int = 8,
+                 min_window: int = 1) -> None:
+        self.history = history
+        self.max_window = max_window
+        self.min_window = min_window
+        self._faults: Deque[int] = deque(maxlen=history)
+        self.issued = 0
+        self.trend_hits = 0
+        self.trend_misses = 0
+
+    def detect(self) -> Optional[int]:
+        """The current majority stride, if any."""
+        if len(self._faults) < self.MIN_SAMPLES + 1:
+            return None
+        faults = list(self._faults)
+        deltas = [b - a for a, b in zip(faults, faults[1:])]
+        stride = majority_delta(deltas)
+        if stride == 0:
+            return None
+        return stride
+
+    def on_major_fault(self, vpn: int, ops: PrefetchOps) -> None:
+        self._faults.append(vpn)
+        stride = self.detect()
+        if stride is None:
+            self.trend_misses += 1
+            return
+        self.trend_hits += 1
+        window = max(self.min_window,
+                     min(self.max_window,
+                         int(round(self.max_window * ops.hit_ratio()))))
+        for step in range(1, window):
+            target = vpn + stride * step
+            if target >= 0 and ops.prefetch(target):
+                self.issued += 1

@@ -1,0 +1,20 @@
+"""Experiment harness: system factories, sweeps, and paper-style tables."""
+
+from repro.harness.experiment import (
+    SYSTEM_KINDS,
+    Measurement,
+    local_bytes_for,
+    make_system,
+    sweep_ratios,
+)
+from repro.harness.report import format_table, ratio_table
+
+__all__ = [
+    "Measurement",
+    "SYSTEM_KINDS",
+    "format_table",
+    "local_bytes_for",
+    "make_system",
+    "ratio_table",
+    "sweep_ratios",
+]

@@ -1,0 +1,122 @@
+"""Experiment plumbing shared by benchmarks and examples.
+
+The paper's evaluation sweeps each workload across systems (Fastswap,
+DiLOS x prefetcher, DiLOS-TCP, AIFM) and local-memory ratios (12.5%, 25%,
+50%, 100% of the working set). ``make_system`` builds any of those by a
+short presentation key; ``sweep_ratios`` runs a measurement function over
+the grid and collects :class:`Measurement` rows the report module formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.common.units import KIB, MIB
+from repro.baselines.aifm import AifmConfig, AifmRuntime
+from repro.baselines.fastswap import FastswapConfig, FastswapSystem
+from repro.core import DilosConfig, DilosSystem
+
+#: Presentation keys, matching the paper's figure legends.
+SYSTEM_KINDS = (
+    "fastswap",
+    "dilos-none",
+    "dilos-readahead",
+    "dilos-trend",
+    "dilos-stride",
+    "dilos-tcp",
+    "aifm",
+    "aifm-rdma",
+)
+
+#: The paper's local-memory sweep.
+PAPER_RATIOS = (0.125, 0.25, 0.50, 1.0)
+
+#: Floor on local memory so watermarks and metadata always fit.
+MIN_LOCAL_BYTES = 192 * KIB
+
+
+def local_bytes_for(footprint_bytes: int, ratio: float,
+                    minimum: int = MIN_LOCAL_BYTES) -> int:
+    """Local cache size for a workload footprint at a sweep ratio."""
+    if not 0.0 < ratio <= 1.5:
+        raise ValueError(f"implausible local-memory ratio {ratio}")
+    scaled = footprint_bytes * ratio
+    if ratio >= 1.0:
+        # The paper's "100%" keeps the whole working set resident; leave
+        # headroom for the free-frame watermark reserve so the page manager
+        # does not evict a fully fitting working set.
+        scaled *= 1.15
+    return max(int(scaled), minimum)
+
+
+def make_system(kind: str, local_bytes: int,
+                remote_bytes: int = 512 * MIB, **overrides: Any):
+    """Boot a system by presentation key.
+
+    Returns a :class:`BaseSystem` for the paging systems or an
+    :class:`AifmRuntime` for the AIFM variants.
+    """
+    if kind == "fastswap":
+        return FastswapSystem(FastswapConfig(
+            local_mem_bytes=local_bytes, remote_mem_bytes=remote_bytes,
+            **overrides))
+    if kind.startswith("dilos"):
+        flavor = kind.split("-", 1)[1] if "-" in kind else "readahead"
+        config = DilosConfig(local_mem_bytes=local_bytes,
+                             remote_mem_bytes=remote_bytes, **overrides)
+        if flavor == "tcp":
+            config.prefetcher = "readahead"
+            config.tcp_emulation = True
+        elif flavor in ("none", "readahead", "trend", "stride"):
+            config.prefetcher = flavor
+        else:
+            raise ValueError(f"unknown DiLOS flavor {flavor!r}")
+        return DilosSystem(config)
+    if kind.startswith("aifm"):
+        transport = "rdma" if kind.endswith("rdma") else "tcp"
+        return AifmRuntime(AifmConfig(local_heap_bytes=local_bytes,
+                                      remote_mem_bytes=remote_bytes,
+                                      transport=transport, **overrides))
+    raise ValueError(f"unknown system kind {kind!r}; pick from {SYSTEM_KINDS}")
+
+
+@dataclass
+class Measurement:
+    """One cell of a paper table/figure."""
+
+    system: str
+    workload: str
+    ratio: float
+    value: float
+    unit: str
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def sweep_ratios(
+    workload_name: str,
+    runner: Callable[[str, float], Measurement],
+    systems: Iterable[str],
+    ratios: Iterable[float] = PAPER_RATIOS,
+) -> List[Measurement]:
+    """Run ``runner(system_kind, ratio)`` over the full grid."""
+    results: List[Measurement] = []
+    for kind in systems:
+        for ratio in ratios:
+            measurement = runner(kind, ratio)
+            measurement.system = kind
+            measurement.workload = workload_name
+            measurement.ratio = ratio
+            results.append(measurement)
+    return results
+
+
+def pick(measurements: List[Measurement], system: str,
+         ratio: Optional[float] = None) -> Measurement:
+    """The unique measurement for (system, ratio); raises if absent."""
+    hits = [m for m in measurements
+            if m.system == system and (ratio is None or m.ratio == ratio)]
+    if len(hits) != 1:
+        raise LookupError(
+            f"expected one measurement for {system}@{ratio}, found {len(hits)}")
+    return hits[0]

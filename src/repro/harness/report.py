@@ -1,0 +1,61 @@
+"""Paper-style ASCII tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.harness.experiment import Measurement
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned table with a title rule, like the paper's tables."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ratio_table(title: str, measurements: List[Measurement],
+                unit: Optional[str] = None) -> str:
+    """Systems as rows, local-memory ratios as columns (the Figure 7-10
+    presentation)."""
+    systems: List[str] = []
+    ratios: List[float] = []
+    for m in measurements:
+        if m.system not in systems:
+            systems.append(m.system)
+        if m.ratio not in ratios:
+            ratios.append(m.ratio)
+    ratios.sort()
+    unit = unit or (measurements[0].unit if measurements else "")
+    headers = ["system"] + [f"{r * 100:g}%" for r in ratios]
+    rows = []
+    for system in systems:
+        row: List[Any] = [system]
+        for ratio in ratios:
+            cell = next((m.value for m in measurements
+                         if m.system == system and m.ratio == ratio), None)
+            row.append("-" if cell is None else cell)
+        rows.append(row)
+    return format_table(f"{title} ({unit})", headers, rows)

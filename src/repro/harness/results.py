@@ -1,0 +1,55 @@
+"""Persisting experiment results.
+
+Benchmarks and scripts can dump their :class:`Measurement` grids to JSON
+(for archival / later plotting) or CSV (for spreadsheets); ``load_json``
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import List
+
+from repro.harness.experiment import Measurement
+
+_FIELDS = ("system", "workload", "ratio", "value", "unit")
+
+
+def save_json(measurements: List[Measurement], path) -> None:
+    """Write measurements (with extras) as a JSON document."""
+    rows = [{"system": m.system, "workload": m.workload, "ratio": m.ratio,
+             "value": m.value, "unit": m.unit, "extra": m.extra}
+            for m in measurements]
+    with open(path, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+
+
+def load_json(path) -> List[Measurement]:
+    """Read measurements written by :func:`save_json`."""
+    with open(path) as fh:
+        rows = json.load(fh)
+    return [Measurement(system=row["system"], workload=row["workload"],
+                        ratio=row["ratio"], value=row["value"],
+                        unit=row["unit"], extra=row.get("extra", {}))
+            for row in rows]
+
+
+def save_csv(measurements: List[Measurement], path) -> None:
+    """Write measurements as CSV (core fields only, no extras)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for m in measurements:
+            writer.writerow([m.system, m.workload, m.ratio, m.value, m.unit])
+
+
+def load_csv(path) -> List[Measurement]:
+    """Read measurements written by :func:`save_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        return [Measurement(system=row["system"], workload=row["workload"],
+                            ratio=float(row["ratio"]),
+                            value=float(row["value"]), unit=row["unit"])
+                for row in reader]

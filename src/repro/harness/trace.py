@@ -1,0 +1,141 @@
+"""Memory-trace recording and replay.
+
+A recorded trace captures an application's *memory behaviour* — every
+load/store with its virtual address, size, and the compute gap since the
+previous access — decoupled from the application code. Replaying the same
+trace on different kernels (DiLOS vs Fastswap, different prefetchers,
+different media) compares paging subsystems on byte-identical access
+sequences, the methodology behind trace-driven studies like the paper's
+motivation experiments (§3).
+
+Traces serialize to JSON-lines, so they can be stored with experiment
+results and replayed later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.core.api import BaseSystem
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory access, ``gap_us`` of compute after the previous one."""
+
+    op: str  # "read" | "write" | "touch"
+    va: int
+    size: int
+    gap_us: float
+
+
+class Trace:
+    """A recorded region layout plus an ordered access sequence."""
+
+    def __init__(self, regions: List[Tuple[int, bool, str]],
+                 events: List[TraceEvent]) -> None:
+        self.regions = regions
+        self.events = events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def bytes_accessed(self) -> int:
+        return sum(e.size for e in self.events)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"regions": self.regions}) + "\n")
+            for event in self.events:
+                fh.write(json.dumps([event.op, event.va, event.size,
+                                     event.gap_us]) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            regions = [tuple(r) for r in header["regions"]]
+            events = [TraceEvent(*json.loads(line))
+                      for line in fh if line.strip()]
+        return cls(regions, events)
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self, system: BaseSystem) -> Dict[str, Any]:
+        """Re-create the regions and drive the accesses; returns metrics
+        plus the replay's simulated duration."""
+        for size, ddc, name in self.regions:
+            system.mmap(size, ddc=ddc, name=name)
+        start = system.clock.now
+        memory = system.memory
+        for event in self.events:
+            if event.gap_us:
+                system.cpu(event.gap_us)
+            if event.op == "read":
+                memory.read(event.va, event.size)
+            elif event.op == "write":
+                # Replay stores deterministic filler: the trace captures
+                # behaviour, not payloads.
+                memory.write(event.va, b"\xA7" * event.size)
+            elif event.op == "touch":
+                memory.touch(event.va, event.size)
+            else:
+                raise ValueError(f"unknown trace op {event.op!r}")
+        metrics = system.metrics()
+        metrics["replay_us"] = system.clock.now - start
+        return metrics
+
+
+class RecordingMemory:
+    """A proxy over :class:`VirtualMemory` that logs every access."""
+
+    def __init__(self, system: BaseSystem) -> None:
+        self._inner = system.vm
+        self._clock = system.clock
+        self._events: List[TraceEvent] = []
+        self._last_time = system.clock.now
+
+    def _log(self, op: str, va: int, size: int) -> None:
+        now = self._clock.now
+        self._events.append(TraceEvent(op, va, size,
+                                       max(0.0, now - self._last_time)))
+
+    def read(self, va: int, size: int) -> bytes:
+        self._log("read", va, size)
+        data = self._inner.read(va, size)
+        self._last_time = self._clock.now
+        return data
+
+    def write(self, va: int, data: bytes) -> None:
+        self._log("write", va, len(data))
+        self._inner.write(va, data)
+        self._last_time = self._clock.now
+
+    def touch(self, va: int, size: int, is_write: bool = False) -> None:
+        self._log("touch", va, size)
+        self._inner.touch(va, size, is_write)
+        self._last_time = self._clock.now
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class TraceRecorder:
+    """Attach to a system, run the application, then ``finish()``."""
+
+    def __init__(self, system: BaseSystem) -> None:
+        self._system = system
+        self._proxy = RecordingMemory(system)
+        system.vm = self._proxy  # apps reach memory via system.memory
+
+    def finish(self) -> Trace:
+        """Detach and return the recorded trace."""
+        self._system.vm = self._proxy._inner
+        regions = [(r.size, r.ddc, r.name)
+                   for r in self._system.addr_space.regions()]
+        return Trace(regions, list(self._proxy._events))

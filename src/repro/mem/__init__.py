@@ -1,0 +1,18 @@
+"""Memory substrate: PTEs, page table, TLB, frames, remote node, MMU."""
+
+from repro.mem.addrspace import AddressSpace, Region
+from repro.mem.frames import FramePool
+from repro.mem.page_table import PageTable
+from repro.mem.remote import MemoryNode
+from repro.mem.tlb import Tlb
+from repro.mem.vm import VirtualMemory
+
+__all__ = [
+    "AddressSpace",
+    "FramePool",
+    "MemoryNode",
+    "PageTable",
+    "Region",
+    "Tlb",
+    "VirtualMemory",
+]

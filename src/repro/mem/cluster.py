@@ -1,0 +1,281 @@
+"""Multi-node remote memory: sharding, replication, parity striping.
+
+§5.1 leaves multi-node support and fault tolerance as future work and
+points at the two standard recipes — replication (Infiniswap, FaRM) and
+erasure coding (Hydra, Carbink). This module implements both, plus plain
+capacity sharding, behind the same backend interface the single
+:class:`~repro.mem.remote.MemoryNode` exposes (``alloc_slot`` /
+``slot_offset`` / ``read_bytes`` / ``write_bytes``), so any kernel runs
+unchanged on a cluster: pass the backend to ``DilosSystem`` /
+``FastswapSystem`` instead of letting them build a single node.
+
+* :class:`ShardedMemory` — pages striped round-robin across nodes; pure
+  capacity aggregation, no redundancy.
+* :class:`ReplicatedMemory` — every write goes to the primary and all
+  mirrors; reads fail over to the first live mirror when the primary dies.
+* :class:`ParityStripedMemory` — RAID-5-style: k data nodes + one parity
+  node; a failed data node's pages are reconstructed by XOR across the
+  surviving stripe (the erasure-coding approach at its simplest).
+
+Failure is injected with ``MemoryNode.fail()``; the backends count
+failovers, degraded reads and reconstruction traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.stats import Counter
+from repro.common.units import PAGE_SHIFT, PAGE_SIZE
+from repro.mem.remote import MemoryNode, NodeFailedError
+
+
+def _check_nodes(nodes: Sequence[MemoryNode], minimum: int) -> None:
+    if len(nodes) < minimum:
+        raise ValueError(f"need at least {minimum} memory nodes")
+    if len({node.capacity for node in nodes}) != 1:
+        raise ValueError("all nodes in a cluster must have equal capacity")
+
+
+class ShardedMemory:
+    """Pages striped across ``nodes``: global page g lives on node g % n."""
+
+    def __init__(self, nodes: Sequence[MemoryNode]) -> None:
+        _check_nodes(nodes, 2)
+        self.nodes: List[MemoryNode] = list(nodes)
+        self.counters = Counter()
+
+    @property
+    def capacity(self) -> int:
+        return sum(node.capacity for node in self.nodes)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(node.total_slots for node in self.nodes)
+
+    @property
+    def free_slots(self) -> int:
+        return sum(node.free_slots for node in self.nodes)
+
+    # -- slots -------------------------------------------------------------
+
+    def alloc_slot(self) -> int:
+        """A global slot on the node with the most free capacity."""
+        best = max(range(len(self.nodes)),
+                   key=lambda i: self.nodes[i].free_slots)
+        if self.nodes[best].free_slots == 0:
+            raise OutOfMemoryError("memory cluster exhausted")
+        local = self.nodes[best].alloc_slot()
+        return local * len(self.nodes) + best
+
+    def free_slot(self, global_slot: int) -> None:
+        node_index = global_slot % len(self.nodes)
+        self.nodes[node_index].free_slot(global_slot // len(self.nodes))
+
+    def slot_offset(self, global_slot: int) -> int:
+        return global_slot << PAGE_SHIFT
+
+    def _route(self, offset: int):
+        """Map a global offset to (node, local offset)."""
+        global_page = offset >> PAGE_SHIFT
+        node = self.nodes[global_page % len(self.nodes)]
+        local = ((global_page // len(self.nodes)) << PAGE_SHIFT) \
+            | (offset & (PAGE_SIZE - 1))
+        return node, local
+
+    # -- data path (splits page-crossing requests) ---------------------------
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        parts = []
+        while size > 0:
+            node, local = self._route(offset)
+            take = min(PAGE_SIZE - (offset & (PAGE_SIZE - 1)), size)
+            parts.append(node.read_bytes(local, take))
+            offset += take
+            size -= take
+        return b"".join(parts)
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        cursor = 0
+        while cursor < len(data):
+            node, local = self._route(offset)
+            take = min(PAGE_SIZE - (offset & (PAGE_SIZE - 1)),
+                       len(data) - cursor)
+            node.write_bytes(local, data[cursor:cursor + take])
+            offset += take
+            cursor += take
+
+
+class ReplicatedMemory:
+    """Primary/mirror replication: writes fan out, reads fail over."""
+
+    def __init__(self, nodes: Sequence[MemoryNode]) -> None:
+        _check_nodes(nodes, 2)
+        self.primary = nodes[0]
+        self.mirrors: List[MemoryNode] = list(nodes[1:])
+        self.counters = Counter()
+
+    @property
+    def capacity(self) -> int:
+        return self.primary.capacity
+
+    @property
+    def total_slots(self) -> int:
+        return self.primary.total_slots
+
+    @property
+    def free_slots(self) -> int:
+        return self.primary.free_slots
+
+    def alloc_slot(self) -> int:
+        # Slot metadata lives on the computing node; the same slot id
+        # addresses the same offset on every replica.
+        return self.primary.alloc_slot()
+
+    def free_slot(self, slot: int) -> None:
+        self.primary.free_slot(slot)
+
+    def slot_offset(self, slot: int) -> int:
+        return slot << PAGE_SHIFT
+
+    def _replicas(self):
+        return [self.primary] + self.mirrors
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        for replica in self._replicas():
+            try:
+                data = replica.read_bytes(offset, size)
+            except NodeFailedError:
+                self.counters.add("failover_reads")
+                continue
+            return data
+        raise NodeFailedError("all replicas are down")
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        wrote = 0
+        for replica in self._replicas():
+            try:
+                replica.write_bytes(offset, data)
+                wrote += 1
+            except NodeFailedError:
+                self.counters.add("writes_skipped_dead_replica")
+        if wrote == 0:
+            raise NodeFailedError("all replicas are down")
+        self.counters.add("replicated_writes", wrote)
+
+
+class ParityStripedMemory:
+    """k data nodes + 1 parity node; XOR reconstruction on failure.
+
+    Data page layout matches :class:`ShardedMemory` over the k data
+    nodes; the parity node's local page r holds the XOR of every data
+    node's local page r (one stripe row).
+    """
+
+    def __init__(self, nodes: Sequence[MemoryNode]) -> None:
+        _check_nodes(nodes, 3)
+        self.data_nodes: List[MemoryNode] = list(nodes[:-1])
+        self.parity_node = nodes[-1]
+        self.counters = Counter()
+
+    @property
+    def k(self) -> int:
+        return len(self.data_nodes)
+
+    @property
+    def capacity(self) -> int:
+        return sum(node.capacity for node in self.data_nodes)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(node.total_slots for node in self.data_nodes)
+
+    @property
+    def free_slots(self) -> int:
+        return sum(node.free_slots for node in self.data_nodes)
+
+    def alloc_slot(self) -> int:
+        best = max(range(self.k),
+                   key=lambda i: self.data_nodes[i].free_slots)
+        if self.data_nodes[best].free_slots == 0:
+            raise OutOfMemoryError("memory cluster exhausted")
+        local = self.data_nodes[best].alloc_slot()
+        return local * self.k + best
+
+    def free_slot(self, global_slot: int) -> None:
+        self.data_nodes[global_slot % self.k].free_slot(global_slot // self.k)
+
+    def slot_offset(self, global_slot: int) -> int:
+        return global_slot << PAGE_SHIFT
+
+    def _route(self, offset: int):
+        global_page = offset >> PAGE_SHIFT
+        index = global_page % self.k
+        local_page = global_page // self.k
+        local = (local_page << PAGE_SHIFT) | (offset & (PAGE_SIZE - 1))
+        return index, local
+
+    @staticmethod
+    def _xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    def _survivor_xor(self, failed_index: int, local: int, size: int) -> bytes:
+        """Reconstruct a range of a failed node from its stripe row."""
+        acc = self.parity_node.read_bytes(local, size)
+        for index, node in enumerate(self.data_nodes):
+            if index == failed_index:
+                continue
+            acc = self._xor(acc, node.read_bytes(local, size))
+        self.counters.add("reconstruction_bytes", size * self.k)
+        return acc
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        parts = []
+        while size > 0:
+            index, local = self._route(offset)
+            take = min(PAGE_SIZE - (offset & (PAGE_SIZE - 1)), size)
+            node = self.data_nodes[index]
+            try:
+                parts.append(node.read_bytes(local, take))
+            except NodeFailedError:
+                self.counters.add("degraded_reads")
+                parts.append(self._survivor_xor(index, local, take))
+            offset += take
+            size -= take
+        return b"".join(parts)
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        cursor = 0
+        while cursor < len(data):
+            index, local = self._route(offset)
+            take = min(PAGE_SIZE - (offset & (PAGE_SIZE - 1)),
+                       len(data) - cursor)
+            piece = data[cursor:cursor + take]
+            node = self.data_nodes[index]
+            try:
+                old = node.read_bytes(local, take)
+                node.write_bytes(local, piece)
+            except NodeFailedError:
+                # Degraded write: the home node is down, so rebuild the
+                # parity from the survivors — the new data remains
+                # recoverable by XOR even though it was never stored.
+                self.counters.add("degraded_writes")
+                acc = piece
+                for other_index, other in enumerate(self.data_nodes):
+                    if other_index == index:
+                        continue
+                    acc = self._xor(acc, other.read_bytes(local, take))
+                self.parity_node.write_bytes(local, acc)
+            else:
+                try:
+                    # Read-modify-write the parity: P ^= old ^ new.
+                    parity_old = self.parity_node.read_bytes(local, take)
+                    self.parity_node.write_bytes(
+                        local, self._xor(parity_old, self._xor(old, piece)))
+                except NodeFailedError:
+                    # Data landed; redundancy is simply lost while the
+                    # parity node is down.
+                    self.counters.add("parity_writes_skipped")
+            offset += take
+            cursor += take

@@ -1,0 +1,66 @@
+"""The computing node's local DRAM: a pool of 4 KiB frames.
+
+Frames carry real bytes (``bytearray``) so that eviction, write-back and
+fetch round-trips are verifiable — a paging bug shows up as corrupted
+workload data, not just a wrong counter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import PAGE_SIZE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class FramePool:
+    """Fixed-size pool of local physical frames with a free list."""
+
+    def __init__(self, total_frames: int) -> None:
+        if total_frames <= 0:
+            raise ValueError("frame pool needs at least one frame")
+        self.total_frames = total_frames
+        self._data: List[bytearray] = [None] * total_frames  # type: ignore[list-item]
+        self._free: List[int] = list(range(total_frames - 1, -1, -1))
+        self._is_free: List[bool] = [True] * total_frames
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_frames(self) -> int:
+        return self.total_frames - len(self._free)
+
+    def alloc(self) -> int:
+        """Pop a zeroed frame off the free list."""
+        if not self._free:
+            raise OutOfMemoryError("local DRAM exhausted")
+        frame = self._free.pop()
+        self._is_free[frame] = False
+        buf = self._data[frame]
+        if buf is None:
+            self._data[frame] = bytearray(PAGE_SIZE)
+        else:
+            buf[:] = _ZERO_PAGE
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return ``frame`` to the free list."""
+        if not 0 <= frame < self.total_frames:
+            raise ValueError(f"frame {frame} out of range")
+        if self._data[frame] is None:
+            raise ValueError(f"frame {frame} was never allocated")
+        if self._is_free[frame]:
+            raise ValueError(f"double free of frame {frame}")
+        self._is_free[frame] = True
+        self._free.append(frame)
+
+    def data(self, frame: int) -> bytearray:
+        """The 4 KiB backing buffer of ``frame``."""
+        buf = self._data[frame]
+        if buf is None:
+            raise ValueError(f"frame {frame} not allocated")
+        return buf

@@ -1,0 +1,96 @@
+"""A four-level radix page table over 48-bit virtual addresses.
+
+Matches the Intel layout the paper's unified page table rides on: four
+levels of 512-entry tables indexed by 9-bit slices of the virtual page
+number. Tables are materialized lazily. A one-entry leaf cache makes the
+sequential walks that dominate paging workloads cheap.
+
+All methods are keyed by *virtual page number* (``va >> 12``); byte-address
+plumbing lives in :mod:`repro.mem.vm`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+_LEVEL_BITS = 9
+_LEVEL_MASK = (1 << _LEVEL_BITS) - 1
+_VPN_BITS = 36  # 48-bit VA, 4 KiB pages
+
+
+class PageTable:
+    """Sparse 4-level radix tree of integer PTEs."""
+
+    def __init__(self) -> None:
+        self._root: Dict[int, Dict] = {}
+        self._leaf_cache_key = -1
+        self._leaf_cache: Dict[int, int] = {}
+        #: Count of materialized leaf tables, for footprint reporting.
+        self.leaf_tables = 0
+
+    # -- walking -----------------------------------------------------------
+
+    def _leaf_for(self, vpn: int, create: bool) -> Dict[int, int]:
+        """Return the leaf table covering ``vpn`` (possibly empty dict)."""
+        key = vpn >> _LEVEL_BITS
+        if key == self._leaf_cache_key:
+            return self._leaf_cache
+        node = self._root
+        for shift in (_VPN_BITS - _LEVEL_BITS,
+                      _VPN_BITS - 2 * _LEVEL_BITS,
+                      _VPN_BITS - 3 * _LEVEL_BITS):
+            index = (vpn >> shift) & _LEVEL_MASK
+            child = node.get(index)
+            if child is None:
+                if not create:
+                    # Do not cache: this empty dict is not linked into the
+                    # tree, and caching it would orphan later set() writes.
+                    return {}
+                child = {}
+                node[index] = child
+                if shift == _VPN_BITS - 3 * _LEVEL_BITS:
+                    self.leaf_tables += 1
+            node = child
+        self._leaf_cache_key = key
+        self._leaf_cache = node
+        return node
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, vpn: int) -> int:
+        """The PTE for ``vpn`` (0 = invalid/unmapped)."""
+        return self._leaf_for(vpn, create=False).get(vpn & _LEVEL_MASK, 0)
+
+    def set(self, vpn: int, pte: int) -> None:
+        """Install ``pte`` for ``vpn`` (0 clears the entry)."""
+        leaf = self._leaf_for(vpn, create=True)
+        index = vpn & _LEVEL_MASK
+        if pte == 0:
+            leaf.pop(index, None)
+        else:
+            leaf[index] = pte
+
+    def update(self, vpn: int, old: int, new: int) -> bool:
+        """Compare-and-set; models the atomic PTE transitions of §4.2.
+
+        Returns False (and changes nothing) if the current PTE is not
+        ``old`` — e.g. another core already flipped REMOTE to FETCHING.
+        """
+        leaf = self._leaf_for(vpn, create=True)
+        index = vpn & _LEVEL_MASK
+        if leaf.get(index, 0) != old:
+            return False
+        if new == 0:
+            leaf.pop(index, None)
+        else:
+            leaf[index] = new
+        return True
+
+    def entries(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(vpn, pte)`` pairs with non-zero PTEs."""
+        for i1, l2 in self._root.items():
+            for i2, l3 in l2.items():
+                for i3, leaf in l3.items():
+                    base = ((i1 << _LEVEL_BITS | i2) << _LEVEL_BITS | i3) << _LEVEL_BITS
+                    for i4, pte in leaf.items():
+                        yield base | i4, pte

@@ -1,0 +1,134 @@
+"""Page-table-entry encoding — DiLOS' unified page table tags (§4.1).
+
+A PTE is a plain 64-bit integer in the hardware (x86-64) format. DiLOS adds
+no side structures: all disaggregation state is encoded *in the PTE itself*,
+distinguished by the three least significant bits (present, write, user),
+exactly as Figure 4 describes:
+
+====================  =======  =====  ====  ==========================
+tag                   present  write  user  payload (bits 12+)
+====================  =======  =====  ====  ==========================
+``LOCAL``             1        x      x     local frame number
+``REMOTE``            0        1      0     remote page frame number
+``FETCHING``          0        0      1     fetch token
+``ACTION``            0        1      1     action datum (guide-defined)
+``INVALID``           0        0      0     —  (unmapped)
+====================  =======  =====  ====  ==========================
+
+Accessed (bit 5) and dirty (bit 6) follow x86. The hit tracker (§4.3) scans
+accessed bits; the cleaner (§4.4) scans dirty bits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+PTE_PRESENT = 1 << 0
+PTE_WRITE = 1 << 1
+PTE_USER = 1 << 2
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+_PAYLOAD_SHIFT = 12
+_TAG_MASK = PTE_PRESENT | PTE_WRITE | PTE_USER
+
+
+class Tag(enum.Enum):
+    """The DiLOS interpretation of a PTE's low bits."""
+
+    INVALID = 0
+    LOCAL = 1
+    REMOTE = 2
+    FETCHING = 3
+    ACTION = 4
+
+
+def classify(pte: int) -> Tag:
+    """Decode the DiLOS tag of a PTE."""
+    if pte & PTE_PRESENT:
+        return Tag.LOCAL
+    low = pte & _TAG_MASK
+    if low == PTE_WRITE:
+        return Tag.REMOTE
+    if low == PTE_USER:
+        return Tag.FETCHING
+    if low == (PTE_WRITE | PTE_USER):
+        return Tag.ACTION
+    if pte == 0:
+        return Tag.INVALID
+    # Payload bits without a recognizable tag indicate corruption.
+    raise ValueError(f"malformed PTE {pte:#x}")
+
+
+def make_local(frame: int, writable: bool = True,
+               accessed: bool = False, dirty: bool = False) -> int:
+    """A present PTE pointing at local ``frame``."""
+    pte = (frame << _PAYLOAD_SHIFT) | PTE_PRESENT | PTE_USER
+    if writable:
+        pte |= PTE_WRITE
+    if accessed:
+        pte |= PTE_ACCESSED
+    if dirty:
+        pte |= PTE_DIRTY
+    return pte
+
+
+def make_remote(remote_pfn: int) -> int:
+    """A non-present PTE recording the page's remote frame number."""
+    return (remote_pfn << _PAYLOAD_SHIFT) | PTE_WRITE
+
+
+def make_fetching(token: int) -> int:
+    """A non-present PTE marking an in-flight fetch (token names it)."""
+    return (token << _PAYLOAD_SHIFT) | PTE_USER
+
+
+def make_action(action_id: int) -> int:
+    """A non-present PTE carrying guide-defined action data (§4.4)."""
+    return (action_id << _PAYLOAD_SHIFT) | PTE_WRITE | PTE_USER
+
+
+def payload(pte: int) -> int:
+    """The frame number / remote pfn / token / action id of a PTE."""
+    return pte >> _PAYLOAD_SHIFT
+
+
+def frame_of(pte: int) -> int:
+    """Local frame number of a LOCAL PTE."""
+    if not pte & PTE_PRESENT:
+        raise ValueError(f"PTE {pte:#x} is not present")
+    return pte >> _PAYLOAD_SHIFT
+
+
+def is_present(pte: int) -> bool:
+    """True when the PTE maps a local frame (present bit set)."""
+    return bool(pte & PTE_PRESENT)
+
+
+def is_accessed(pte: int) -> bool:
+    """True when the hardware accessed bit is set."""
+    return bool(pte & PTE_ACCESSED)
+
+
+def is_dirty(pte: int) -> bool:
+    """True when the hardware dirty bit is set."""
+    return bool(pte & PTE_DIRTY)
+
+
+def set_accessed(pte: int) -> int:
+    """The PTE with its accessed bit set."""
+    return pte | PTE_ACCESSED
+
+
+def clear_accessed(pte: int) -> int:
+    """The PTE with its accessed bit cleared (clock-hand rotation)."""
+    return pte & ~PTE_ACCESSED
+
+
+def set_dirty(pte: int) -> int:
+    """The PTE with its dirty bit set (first write through a clean map)."""
+    return pte | PTE_DIRTY
+
+
+def clear_dirty(pte: int) -> int:
+    """The PTE with its dirty bit cleared (after a write-back)."""
+    return pte & ~PTE_DIRTY

@@ -1,0 +1,63 @@
+"""A software model of the translation lookaside buffer.
+
+The TLB caches ``vpn -> (frame, writable, dirty_set)`` so repeated accesses
+to a hot page skip the page-table walk. Anything that rewrites a PTE
+(eviction, accessed-bit clearing by the hit tracker or the clock algorithm)
+must invalidate the entry — the simulated equivalents of TLB shootdowns.
+
+``dirty_set`` mirrors x86: the first *write* through a clean translation
+must go back to the PTE to set the dirty bit; afterwards writes are pure
+TLB hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class Tlb:
+    """Fixed-capacity LRU translation cache."""
+
+    def __init__(self, capacity: int = 1536) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[int, bool, bool]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, bool, bool]]:
+        """Return ``(frame, writable, dirty_set)`` or None on a miss."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        return entry
+
+    def fill(self, vpn: int, frame: int, writable: bool, dirty_set: bool) -> None:
+        """Install a translation, evicting LRU if full."""
+        self._entries[vpn] = (frame, writable, dirty_set)
+        self._entries.move_to_end(vpn)
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def mark_dirty_set(self, vpn: int) -> None:
+        """Record that the PTE dirty bit has been set for ``vpn``."""
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            frame, writable, _ = entry
+            self._entries[vpn] = (frame, writable, True)
+
+    def invalidate(self, vpn: int) -> None:
+        """Shoot down a single translation."""
+        self._entries.pop(vpn, None)
+
+    def flush(self) -> None:
+        """Drop every translation."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,155 @@
+"""The MMU model: virtual loads and stores with faulting.
+
+:class:`VirtualMemory` is the only way applications touch data. Each access
+is split at page boundaries; each page is translated through the TLB and
+page table; non-present PTEs dispatch to the attached kernel's fault handler
+(DiLOS or Fastswap), after which the access retries. Accessed and dirty bits
+are maintained the way x86 hardware does: accessed set on TLB fill, dirty
+set on the first write through a clean translation.
+
+CPU time is charged per byte moved (``cpu_copy_per_byte``), so computation
+and fetch pipelines interact realistically with prefetching.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from repro.common.clock import Clock
+from repro.common.errors import FaultError, ProtectionError
+from repro.common.stats import Counter
+from repro.common.units import PAGE_SHIFT, PAGE_SIZE
+from repro.mem import pte as pte_mod
+from repro.mem.frames import FramePool
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import Tlb
+
+#: Fault handler signature: (faulting va, is_write) -> None.
+FaultHandler = Callable[[int, bool], None]
+
+_MAX_FAULT_RETRIES = 4
+
+
+class VirtualMemory:
+    """Byte-granular load/store engine over the paged address space."""
+
+    def __init__(self, clock: Clock, page_table: PageTable,
+                 frames: FramePool, copy_cost_per_byte: float) -> None:
+        self._clock = clock
+        self._pt = page_table
+        self._frames = frames
+        self._copy_cost = copy_cost_per_byte
+        self.tlb = Tlb()
+        self.counters = Counter()
+        self._fault_handler: FaultHandler = self._no_kernel
+
+    @staticmethod
+    def _no_kernel(va: int, is_write: bool) -> None:
+        raise FaultError(f"page fault at {va:#x} with no kernel attached")
+
+    def attach_kernel(self, handler: FaultHandler) -> None:
+        """Install the kernel's page fault handler."""
+        self._fault_handler = handler
+
+    # -- translation ------------------------------------------------------
+
+    def _translate(self, vpn: int, is_write: bool) -> int:
+        """Return the local frame for ``vpn``, faulting as needed."""
+        entry = self.tlb.lookup(vpn)
+        if entry is not None:
+            frame, writable, dirty_set = entry
+            if is_write and not writable:
+                raise ProtectionError(
+                    f"write to read-only page {vpn:#x}")
+            if not is_write or dirty_set:
+                return frame
+            # First write through a clean translation: set the PTE dirty
+            # bit (a hardware-assisted walk on x86).
+            pte = self._pt.get(vpn)
+            self._pt.set(vpn, pte_mod.set_dirty(pte))
+            self.tlb.mark_dirty_set(vpn)
+            return frame
+
+        for _attempt in range(_MAX_FAULT_RETRIES):
+            pte = self._pt.get(vpn)
+            if pte_mod.is_present(pte):
+                if is_write and not pte & pte_mod.PTE_WRITE:
+                    raise ProtectionError(
+                        f"write to read-only page {vpn:#x}")
+                frame = pte_mod.frame_of(pte)
+                new = pte_mod.set_accessed(pte)
+                if is_write:
+                    new = pte_mod.set_dirty(new)
+                if new != pte:
+                    self._pt.set(vpn, new)
+                self.tlb.fill(vpn, frame, writable=bool(new & pte_mod.PTE_WRITE),
+                              dirty_set=pte_mod.is_dirty(new))
+                return frame
+            self._fault_handler(vpn << PAGE_SHIFT, is_write)
+
+        raise FaultError(
+            f"page {vpn:#x} still not present after "
+            f"{_MAX_FAULT_RETRIES} fault retries")
+
+    def _chunks(self, va: int, size: int) -> Iterator[Tuple[int, int, int]]:
+        """Split ``[va, va+size)`` into per-page ``(vpn, offset, length)``."""
+        while size > 0:
+            vpn = va >> PAGE_SHIFT
+            offset = va & (PAGE_SIZE - 1)
+            length = min(PAGE_SIZE - offset, size)
+            yield vpn, offset, length
+            va += length
+            size -= length
+
+    # -- data access --------------------------------------------------------
+
+    def read(self, va: int, size: int) -> bytes:
+        """Load ``size`` bytes at ``va`` (may fault per page)."""
+        if size < 0:
+            raise ValueError("negative read size")
+        if size == 0:
+            return b""
+        parts = []
+        for vpn, offset, length in self._chunks(va, size):
+            frame = self._translate(vpn, is_write=False)
+            parts.append(bytes(self._frames.data(frame)[offset:offset + length]))
+        self._clock.advance(size * self._copy_cost)
+        self.counters.add("bytes_read", size)
+        return b"".join(parts) if len(parts) > 1 else parts[0]
+
+    def write(self, va: int, data: bytes) -> None:
+        """Store ``data`` at ``va`` (may fault per page)."""
+        size = len(data)
+        if size == 0:
+            return
+        cursor = 0
+        for vpn, offset, length in self._chunks(va, size):
+            frame = self._translate(vpn, is_write=True)
+            self._frames.data(frame)[offset:offset + length] = \
+                data[cursor:cursor + length]
+            cursor += length
+        self._clock.advance(size * self._copy_cost)
+        self.counters.add("bytes_written", size)
+
+    def touch(self, va: int, size: int, is_write: bool = False) -> None:
+        """Fault in (and mark accessed/dirty) every page of a range without
+        moving bytes — used by workloads whose computation is modeled by an
+        explicit CPU charge rather than byte-by-byte copies."""
+        if size <= 0:
+            return
+        for vpn, _offset, _length in self._chunks(va, size):
+            self._translate(vpn, is_write)
+
+    # -- typed helpers ----------------------------------------------------
+
+    def read_u64(self, va: int) -> int:
+        return int.from_bytes(self.read(va, 8), "little")
+
+    def write_u64(self, va: int, value: int) -> None:
+        self.write(va, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+
+    def read_u32(self, va: int) -> int:
+        return int.from_bytes(self.read(va, 4), "little")
+
+    def write_u32(self, va: int, value: int) -> None:
+        self.write(va, (value & (2 ** 32 - 1)).to_bytes(4, "little"))

@@ -1,0 +1,14 @@
+"""Network substrate: the RDMA fabric model and its latency calibration."""
+
+from repro.net.latency import DEFAULT_LATENCY, LatencyModel, cycles_to_us, CPU_GHZ
+from repro.net.qp import Completion, NetStats, QueuePair
+
+__all__ = [
+    "CPU_GHZ",
+    "Completion",
+    "DEFAULT_LATENCY",
+    "LatencyModel",
+    "NetStats",
+    "QueuePair",
+    "cycles_to_us",
+]

@@ -1,0 +1,161 @@
+"""Latency model for the simulated machine.
+
+Every constant is calibrated to a number the paper reports, so a reader can
+trace each default back to a figure:
+
+* Figure 2 gives one-sided RDMA latency vs object size: ~1.5 us for a 128 B
+  read, and a 4 KiB page adds only ~0.6 us on top of that. That yields the
+  ``rdma_*_base`` + ``rdma_per_byte`` affine model (0.6 us / 4096 B = 1.46e-4
+  us per byte, an effective ~6.8 GB/s per queue pair, below the 100 GbE line
+  rate because it includes PCIe/DMA overheads exactly as the measurement
+  does).
+
+* Figure 1 gives Fastswap's fault-handler breakdown: hardware exception +
+  OS exception entry = 0.57 us; the 4 KiB fetch is the largest component
+  (~46%); direct reclamation averages ~29%; the remainder is swap-subsystem
+  software (swap cache allocation/insertion, page allocation, rmap).
+
+* Figure 6 shows DiLOS cutting the software portion to a single page-table
+  check plus mapping, with page allocation nearly free (a free-list pop) and
+  no reclaim on the critical path (49% total reduction).
+
+* Section 6.2 calibrates AIFM's TCP transport as 14,000 cycles slower than
+  RDMA per 4 KiB transfer (6.09 us at the testbed's 2.3 GHz), and AIFM's
+  remoteable-pointer dereference adds a presence check of a few cycles.
+
+All times are microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Testbed CPU frequency (Intel Xeon E5-2670 v3), used to convert cycle
+#: counts from the paper into microseconds.
+CPU_GHZ = 2.3
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Convert a cycle count on the 2.3 GHz testbed CPU to microseconds."""
+    return cycles / (CPU_GHZ * 1000.0)
+
+
+@dataclass
+class LatencyModel:
+    """Calibrated cost constants shared by every simulated component."""
+
+    # --- RDMA wire model (Figure 2) ------------------------------------
+    #: Fixed one-way cost of a one-sided READ (issue + NIC + fabric).
+    rdma_read_base: float = 1.35
+    #: Fixed cost of a one-sided WRITE (slightly cheaper: no response data).
+    rdma_write_base: float = 1.15
+    #: Per-byte wire/DMA cost; 4096 B adds ~0.6 us as in Figure 2.
+    rdma_per_byte: float = 1.46e-4
+    #: Extra cost per additional scatter-gather segment.
+    rdma_sg_segment: float = 0.12
+    #: Penalty per segment beyond three; Section 6.3 observes vectorized
+    #: RDMA slows significantly past vectors of length three.
+    rdma_sg_overlong_penalty: float = 0.80
+    #: NIC doorbell / WQE posting overhead charged to the issuing CPU.
+    rdma_post_overhead: float = 0.05
+
+    # --- TCP emulation (AIFM comparison, Section 6.2 footnote 2) -------
+    #: Extra delay per transfer when using the TCP transport instead of
+    #: RDMA: 14,000 cycles at 2.3 GHz.
+    tcp_extra: float = cycles_to_us(14_000)
+
+    # --- Page fault hardware costs (Figure 1) ---------------------------
+    #: Hardware exception delivery (microcode, IDT vectoring).
+    hw_exception: float = 0.30
+    #: OS exception entry/exit trampoline up to the handler proper.
+    os_fault_entry: float = 0.27
+
+    # --- DiLOS software costs (Figure 6, Section 4.2) -------------------
+    #: Unified-page-table check: the *single* data structure consulted
+    #: before issuing the RDMA request.
+    dilos_pte_check: float = 0.08
+    #: Popping a free frame from the page manager's free list.
+    dilos_page_alloc: float = 0.05
+    #: Installing the fetched page into the page table (+ TLB shootdown).
+    dilos_map: float = 0.15
+    #: Cost of waiting out a FETCHING PTE set by another core/prefetch
+    #: (spin setup; the wait itself is until the fetch completes).
+    dilos_wait_fetch: float = 0.05
+    #: PTE hit tracker: scanning accessed bits of one prefetched PTE.
+    dilos_hit_track_per_pte: float = 0.004
+
+    # --- Fastswap / Linux swap-subsystem software costs (Figure 1) ------
+    #: Swap-entry decode + swap cache radix-tree lookup.
+    fastswap_swap_lookup: float = 0.35
+    #: Allocating a swap-cache page + inserting into the radix tree
+    #: (+ memcg charge, workingset accounting).
+    fastswap_swapcache_insert: float = 0.60
+    #: Buddy/per-cpu page allocation.
+    fastswap_page_alloc: float = 0.50
+    #: rmap + page-table mapping + TLB maintenance.
+    fastswap_map: float = 0.40
+    #: Servicing a minor fault from the swap cache: radix lookup, page-lock
+    #: handshake with the in-flight readahead IO, rmap/map, LRU activation,
+    #: memcg accounting. Individually cheaper than a major fault but, per
+    #: §3.2, the dominant aggregate cost (87.5% of all faults).
+    fastswap_minor_fault: float = 2.40
+    #: Direct-reclaim CPU work per page scanned/evicted inline.
+    fastswap_reclaim_per_page: float = 0.60
+    #: Fraction of reclaim work Fastswap's dedicated kernel thread manages
+    #: to offload away from the fault path ("not all reclamation work is
+    #: offloaded to the thread", Section 3.1).
+    fastswap_reclaim_offload_fraction: float = 0.75
+
+    # --- AIFM runtime costs (Sections 2, 6.2) ---------------------------
+    #: Remoteable-pointer presence check per dereference (a few cycles of
+    #: tag test + branch; calibrated so AIFM lands 50-83% behind the paging
+    #: systems at 100% local memory, Figure 8).
+    aifm_deref_check: float = cycles_to_us(4)
+    #: Software path to fetch one remote object (user-level, no kernel
+    #: crossing; cheaper than any fault path).
+    aifm_object_fetch_sw: float = 0.30
+    #: Object evacuation bookkeeping per object (background).
+    aifm_evacuate_per_object: float = 0.20
+
+    # --- Generic CPU ----------------------------------------------------
+    #: Cost of one "simple operation" used by workloads to charge compute
+    #: time (one cycle at 2.3 GHz).
+    cpu_cycle: float = cycles_to_us(1)
+    #: CPU time per byte actually copied between the application and a
+    #: local frame (~10 GB/s effective memcpy including cache effects).
+    cpu_copy_per_byte: float = 1.0e-4
+
+    # --- OS character ---------------------------------------------------
+    #: Per-synchronization-op overhead; OSv's primitives are less mature
+    #: than Linux's (Section 6.2, GAPBS discussion). Keyed by kernel.
+    sync_overhead_linux: float = cycles_to_us(60)
+    sync_overhead_osv: float = cycles_to_us(220)
+
+    # Derived helpers ----------------------------------------------------
+
+    def rdma_read_latency(self, size: int) -> float:
+        """End-to-end latency of a one-sided READ of ``size`` bytes."""
+        return self.rdma_read_base + size * self.rdma_per_byte
+
+    def rdma_write_latency(self, size: int) -> float:
+        """End-to-end latency of a one-sided WRITE of ``size`` bytes."""
+        return self.rdma_write_base + size * self.rdma_per_byte
+
+    def sg_overhead(self, segments: int) -> float:
+        """Extra latency of a scatter-gather list with ``segments`` entries."""
+        if segments <= 1:
+            return 0.0
+        extra = (segments - 1) * self.rdma_sg_segment
+        if segments > 3:
+            extra += (segments - 3) * self.rdma_sg_overlong_penalty
+        return extra
+
+    def cycles(self, n: float) -> float:
+        """Microseconds consumed by ``n`` CPU cycles."""
+        return n * self.cpu_cycle
+
+
+#: Shared default model; experiments that want to perturb a constant build
+#: their own instance instead of mutating this one.
+DEFAULT_LATENCY = LatencyModel()

@@ -1,0 +1,54 @@
+"""Backing-media latency profiles (§5.1: paging-based disaggregation vs
+disk-based swapping).
+
+DiLOS' design shortens the *software* path between exception and IO, so
+its benefit depends on how large that software path is relative to the
+device: dominant over RDMA far memory (~2 us per page), still visible on
+modern NVMe (~10-20 us), and irrelevant once a device takes milliseconds.
+These profiles swap only the wire/device constants of the latency model;
+every kernel-software cost stays identical, so sweeping them isolates the
+paper's claim that "DiLOS' design would be valid for NVMe drives."
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.net.latency import LatencyModel
+
+
+def rdma_100g() -> LatencyModel:
+    """The paper's testbed: one-sided RDMA over 100 GbE (Figure 2)."""
+    return LatencyModel()
+
+
+def nvme_flash() -> LatencyModel:
+    """A modern NVMe flash drive as swap backend (~10 us, ~3 GB/s)."""
+    return replace(LatencyModel(),
+                   rdma_read_base=10.0,
+                   rdma_write_base=9.0,
+                   rdma_per_byte=3.3e-4)
+
+
+def sata_ssd() -> LatencyModel:
+    """SATA-era flash (~70 us access, ~0.5 GB/s)."""
+    return replace(LatencyModel(),
+                   rdma_read_base=70.0,
+                   rdma_write_base=60.0,
+                   rdma_per_byte=2.0e-3)
+
+
+def hdd() -> LatencyModel:
+    """Spinning disk (~4 ms seek+rotate, ~150 MB/s)."""
+    return replace(LatencyModel(),
+                   rdma_read_base=4000.0,
+                   rdma_write_base=4000.0,
+                   rdma_per_byte=6.6e-3)
+
+
+MEDIA_PROFILES = {
+    "rdma-100g": rdma_100g,
+    "nvme-flash": nvme_flash,
+    "sata-ssd": sata_ssd,
+    "hdd": hdd,
+}

@@ -1,0 +1,227 @@
+"""RDMA queue pairs with explicit wire occupancy.
+
+A :class:`QueuePair` serializes its own operations (in-order delivery per QP,
+as in RoCE): a small urgent request posted behind a large transfer waits for
+the large transfer's wire time. This makes head-of-line blocking — the
+problem DiLOS' shared-nothing communication module exists to avoid (§4.5) —
+a *real, measurable* effect in the model rather than an assumed constant.
+
+Timing of an operation of ``size`` bytes posted at time ``t``::
+
+    issue  = t + post_overhead          (CPU: doorbell + WQE)
+    start  = max(issue, wire_free)      (per-QP serialization point)
+    wire   = start + size * per_byte + sg_overhead
+    done   = wire + base_latency        (fabric propagation + remote NIC)
+
+so a lone 4 KiB READ costs ``base + 4096 * per_byte`` (Figure 2), while a
+pipelined stream of them is spaced ``4096 * per_byte`` apart (wire-limited).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.clock import Clock
+from repro.net.latency import LatencyModel
+
+
+class NetStats:
+    """Wire-byte accounting shared by all queue pairs of one fabric.
+
+    ``timeline`` keeps ``(time, bytes, direction)`` events so experiments can
+    plot bandwidth over time (Figure 12).
+    """
+
+    def __init__(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.ops_read = 0
+        self.ops_write = 0
+        self.timeline: List[Tuple[float, int, str]] = []
+
+    def record(self, now: float, size: int, direction: str) -> None:
+        if direction == "read":
+            self.bytes_read += size
+            self.ops_read += 1
+        elif direction == "write":
+            self.bytes_written += size
+            self.ops_write += 1
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        self.timeline.append((now, size, direction))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def bandwidth_series(self, bin_us: float, start: float = 0.0,
+                         stop: float = None):
+        """Bin the timeline into ``(bin_start_us, bytes)`` pairs.
+
+        This is how Figure 12's bandwidth-over-time plot is produced from
+        the raw wire events. Empty bins are included so the series is
+        uniform.
+        """
+        if bin_us <= 0:
+            raise ValueError("bin width must be positive")
+        if not self.timeline:
+            return []
+        if stop is None:
+            stop = max(t for t, _size, _dir in self.timeline)
+        nbins = int((stop - start) // bin_us) + 1
+        bins = [0] * nbins
+        for when, size, _direction in self.timeline:
+            if start <= when <= stop:
+                bins[int((when - start) // bin_us)] += size
+        return [(start + i * bin_us, total) for i, total in enumerate(bins)]
+
+
+class Completion:
+    """Handle for an in-flight one-sided operation."""
+
+    __slots__ = ("time", "op", "size", "data", "cancelled")
+
+    def __init__(self, time: float, op: str, size: int, data: Optional[bytes]) -> None:
+        self.time = time
+        self.op = op
+        self.size = size
+        #: READ payload (snapshotted when the remote NIC services the op).
+        self.data = data
+        #: Set by the issuer to drop a stale callback (e.g. a prefetch whose
+        #: target page got unmapped before arrival).
+        self.cancelled = False
+
+    def done(self, now: float) -> bool:
+        return now >= self.time
+
+
+class QueuePair:
+    """One RDMA QP: in-order, reliable, one-sided READ/WRITE/SG verbs.
+
+    ``remote`` is any object with ``read_bytes(offset, size) -> bytes`` and
+    ``write_bytes(offset, data)`` — in practice the memory node's registered
+    region.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        model: LatencyModel,
+        remote,
+        stats: NetStats,
+        extra_completion_delay: float = 0.0,
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        self._model = model
+        self._remote = remote
+        self._stats = stats
+        #: Additional delay applied to every completion; used for the
+        #: DiLOS-TCP / AIFM-TCP emulation (+14,000 cycles, §6.2).
+        self.extra_completion_delay = extra_completion_delay
+        self._wire_free = 0.0
+        self.posted = 0
+
+    # -- internal ---------------------------------------------------------
+
+    def _schedule(self, wire_time: float, base: float) -> float:
+        """Advance the CPU past posting and return the completion time."""
+        self._clock.advance(self._model.rdma_post_overhead)
+        start = max(self._clock.now, self._wire_free)
+        wire_done = start + wire_time
+        self._wire_free = wire_done
+        self.posted += 1
+        return wire_done + base + self.extra_completion_delay
+
+    def _register(self, completion: Completion,
+                  on_complete: Optional[Callable[[Completion], None]]) -> None:
+        if on_complete is None:
+            return
+
+        def fire() -> None:
+            if not completion.cancelled:
+                on_complete(completion)
+
+        self._clock.call_at(completion.time, fire)
+
+    # -- verbs --------------------------------------------------------------
+
+    def post_read(
+        self,
+        remote_offset: int,
+        size: int,
+        on_complete: Optional[Callable[[Completion], None]] = None,
+    ) -> Completion:
+        """One-sided READ of ``size`` bytes at ``remote_offset``."""
+        data = self._remote.read_bytes(remote_offset, size)
+        when = self._schedule(size * self._model.rdma_per_byte,
+                              self._model.rdma_read_base)
+        self._stats.record(when, size, "read")
+        completion = Completion(when, "read", size, data)
+        self._register(completion, on_complete)
+        return completion
+
+    def post_write(
+        self,
+        remote_offset: int,
+        data: bytes,
+        on_complete: Optional[Callable[[Completion], None]] = None,
+    ) -> Completion:
+        """One-sided WRITE of ``data`` to ``remote_offset``."""
+        self._remote.write_bytes(remote_offset, data)
+        when = self._schedule(len(data) * self._model.rdma_per_byte,
+                              self._model.rdma_write_base)
+        self._stats.record(when, len(data), "write")
+        completion = Completion(when, "write", len(data), None)
+        self._register(completion, on_complete)
+        return completion
+
+    def post_read_sg(
+        self,
+        segments: Sequence[Tuple[int, int]],
+        on_complete: Optional[Callable[[Completion], None]] = None,
+    ) -> Completion:
+        """Scatter-gather READ: ``segments`` is ``[(remote_offset, size)]``.
+
+        Returns a completion whose ``data`` is the segments' payloads
+        concatenated in order. §6.3 observed vectors longer than three slow
+        down sharply; the latency model charges that penalty.
+        """
+        if not segments:
+            raise ValueError("empty scatter-gather list")
+        payload = b"".join(
+            self._remote.read_bytes(off, size) for off, size in segments)
+        total = len(payload)
+        wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
+        when = self._schedule(wire, self._model.rdma_read_base)
+        self._stats.record(when, total, "read")
+        completion = Completion(when, "read", total, payload)
+        self._register(completion, on_complete)
+        return completion
+
+    def post_write_sg(
+        self,
+        segments: Sequence[Tuple[int, bytes]],
+        on_complete: Optional[Callable[[Completion], None]] = None,
+    ) -> Completion:
+        """Scatter-gather WRITE: ``segments`` is ``[(remote_offset, data)]``."""
+        if not segments:
+            raise ValueError("empty scatter-gather list")
+        total = 0
+        for off, data in segments:
+            self._remote.write_bytes(off, data)
+            total += len(data)
+        wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
+        when = self._schedule(wire, self._model.rdma_write_base)
+        self._stats.record(when, total, "write")
+        completion = Completion(when, "write", total, None)
+        self._register(completion, on_complete)
+        return completion
+
+    # -- waiting ------------------------------------------------------------
+
+    def wait(self, completion: Completion) -> Completion:
+        """Block (advance simulated time) until ``completion`` arrives."""
+        self._clock.advance_to(completion.time)
+        return completion

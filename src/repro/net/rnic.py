@@ -1,0 +1,135 @@
+"""The memory node's RNIC: registration, protection keys, multi-tenancy.
+
+§5's driver design in model form. DiLOS bypasses its hypervisor on the
+data path, so isolation between LibOSes sharing an RNIC rests entirely on
+RDMA's *protection key* mechanism: every registered memory region carries
+an rkey, and the RNIC services a one-sided operation only when the caller
+presents the right key. The control path (registering regions, populating
+the NIC's mapping table) goes through virtio and is slow — but runs once
+per connection at initialization, so its cost is irrelevant (§5).
+
+:class:`Rnic` wraps one :class:`~repro.mem.remote.MemoryNode` and carves
+it into registered :class:`RemoteRegion` s. A ``RemoteRegion`` implements
+the same backend interface as a raw node (``alloc_slot`` / ``slot_offset``
+/ ``read_bytes`` / ``write_bytes``), so a computing node boots against its
+region exactly as it would against a whole node — and cannot reach beyond
+it. ``Rnic.one_sided_read``/``write`` model the wire protocol itself,
+where a malicious guest could present an arbitrary (offset, rkey) pair:
+the RNIC rejects mismatches with :class:`~repro.common.errors.
+ProtectionError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock
+from repro.common.errors import OutOfMemoryError, ProtectionError
+from repro.common.units import PAGE_SHIFT, align_up
+
+#: Control-path cost of registering a region: virtio round trips, VM
+#: exits, NIC mapping-table population (microseconds). Paid once at boot.
+REGISTER_CONTROL_US = 120.0
+
+_rkey_counter = itertools.count(0x1000)
+
+
+class RemoteRegion:
+    """A registered, rkey-protected slice of a memory node."""
+
+    def __init__(self, rnic: "Rnic", base: int, size: int, rkey: int,
+                 name: str) -> None:
+        self._rnic = rnic
+        self.base = base
+        self.size = size
+        self.rkey = rkey
+        self.name = name
+        total_slots = size >> PAGE_SHIFT
+        self.total_slots = total_slots
+        self._free_slots: List[int] = list(range(total_slots - 1, -1, -1))
+
+    # -- backend interface (what a computing node kernels against) --------
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free_slots)
+
+    def alloc_slot(self) -> int:
+        if not self._free_slots:
+            raise OutOfMemoryError(f"region {self.name} exhausted")
+        return self._free_slots.pop()
+
+    def free_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.total_slots:
+            raise ValueError(f"slot {slot} outside region {self.name}")
+        self._free_slots.append(slot)
+
+    def slot_offset(self, slot: int) -> int:
+        return slot << PAGE_SHIFT
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        return self._rnic.one_sided_read(self.base + offset, size, self.rkey)
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        self._rnic.one_sided_write(self.base + offset, data, self.rkey)
+
+
+class Rnic:
+    """One RNIC fronting one memory node, shared by many computing nodes."""
+
+    def __init__(self, node, clock: Optional[Clock] = None) -> None:
+        self._node = node
+        self._clock = clock
+        self._regions: Dict[int, RemoteRegion] = {}
+        self._bump = 0
+        self.registrations = 0
+        self.protection_faults = 0
+
+    # -- control path (slow, once per connection; §5) -----------------------
+
+    def register_region(self, size: int, name: str = "mr") -> RemoteRegion:
+        """Register ``size`` bytes; returns the region handle (with rkey)."""
+        size = align_up(size)
+        if self._bump + size > self._node.capacity:
+            raise OutOfMemoryError("memory node capacity exhausted")
+        rkey = next(_rkey_counter)
+        region = RemoteRegion(self, self._bump, size, rkey, name)
+        self._regions[rkey] = region
+        self._bump += size
+        self.registrations += 1
+        if self._clock is not None:
+            # virtio control path: VM exits + host driver + NIC table.
+            self._clock.advance(REGISTER_CONTROL_US)
+        return region
+
+    def deregister_region(self, region: RemoteRegion) -> None:
+        """Invalidate a region's rkey (its space is not reclaimed — real
+        MR deregistration does not compact the PD either)."""
+        self._regions.pop(region.rkey, None)
+
+    # -- data path (what the RNIC checks on every wire op) --------------------
+
+    def _check(self, offset: int, size: int, rkey: int) -> None:
+        region = self._regions.get(rkey)
+        if region is None:
+            self.protection_faults += 1
+            raise ProtectionError(f"unknown rkey {rkey:#x}")
+        if not (region.base <= offset
+                and offset + size <= region.base + region.size):
+            self.protection_faults += 1
+            raise ProtectionError(
+                f"access [{offset:#x}, {offset + size:#x}) outside region "
+                f"{region.name} (rkey {rkey:#x})")
+
+    def one_sided_read(self, offset: int, size: int, rkey: int) -> bytes:
+        self._check(offset, size, rkey)
+        return self._node.read_bytes(offset, size)
+
+    def one_sided_write(self, offset: int, data: bytes, rkey: int) -> None:
+        self._check(offset, len(data), rkey)
+        self._node.write_bytes(offset, data)

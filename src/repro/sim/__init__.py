@@ -1,0 +1,5 @@
+"""Simulation utilities beyond the core machine model."""
+
+from repro.sim.workers import Op, Workers, cpu, read, touch, write
+
+__all__ = ["Op", "Workers", "cpu", "read", "touch", "write"]

@@ -1,0 +1,114 @@
+"""Unit + property tests for the allocator bitmap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alloc.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_set_test_clear(self):
+        b = Bitmap(8)
+        assert not b.test(3)
+        b.set(3)
+        assert b.test(3)
+        b.clear(3)
+        assert not b.test(3)
+
+    def test_bounds(self):
+        b = Bitmap(8)
+        with pytest.raises(IndexError):
+            b.set(8)
+        with pytest.raises(IndexError):
+            b.test(-1)
+
+    def test_range_ops(self):
+        b = Bitmap(16)
+        b.set_range(4, 8)
+        assert b.popcount() == 8
+        assert not b.test(3)
+        assert b.test(4)
+        assert b.test(11)
+        assert not b.test(12)
+        b.clear_range(6, 2)
+        assert b.popcount() == 6
+
+    def test_zero_count_range(self):
+        b = Bitmap(8)
+        b.set_range(0, 0)
+        assert b.popcount() == 0
+
+    def test_any_all(self):
+        b = Bitmap(4)
+        assert not b.any()
+        b.set_range(0, 4)
+        assert b.all()
+
+    def test_find_first_clear(self):
+        b = Bitmap(4)
+        assert b.find_first_clear() == 0
+        b.set(0)
+        b.set(1)
+        assert b.find_first_clear() == 2
+        b.set_range(0, 4)
+        assert b.find_first_clear() == -1
+
+
+class TestRuns:
+    def test_empty(self):
+        assert list(Bitmap(16).runs()) == []
+
+    def test_single_run(self):
+        b = Bitmap(16)
+        b.set_range(2, 5)
+        assert list(b.runs()) == [(2, 5)]
+
+    def test_multiple_runs(self):
+        b = Bitmap(32)
+        b.set(0)
+        b.set_range(4, 3)
+        b.set_range(30, 2)
+        assert list(b.runs()) == [(0, 1), (4, 3), (30, 2)]
+
+    def test_full(self):
+        b = Bitmap(8)
+        b.set_range(0, 8)
+        assert list(b.runs()) == [(0, 8)]
+
+    def test_as_ranges_scaling(self):
+        b = Bitmap(256)
+        b.set_range(2, 4)
+        assert b.as_ranges(16) == [(32, 64)]
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), max_size=64))
+def test_runs_reconstruct_set_bits_property(bits):
+    b = Bitmap(256)
+    for bit in bits:
+        b.set(bit)
+    reconstructed = set()
+    last_end = -1
+    for start, count in b.runs():
+        assert count > 0
+        assert start > last_end  # runs ordered, maximal, disjoint
+        last_end = start + count - 1
+        reconstructed.update(range(start, start + count))
+    assert reconstructed == bits
+
+
+@given(st.lists(st.tuples(st.integers(0, 250), st.integers(1, 6),
+                          st.booleans()), max_size=40))
+def test_range_ops_match_shadow_property(ops):
+    b = Bitmap(256)
+    shadow = set()
+    for start, count, is_set in ops:
+        count = min(count, 256 - start)
+        if is_set:
+            b.set_range(start, count)
+            shadow.update(range(start, start + count))
+        else:
+            b.clear_range(start, count)
+            shadow.difference_update(range(start, start + count))
+    assert b.popcount() == len(shadow)
+    for bit in range(256):
+        assert b.test(bit) == (bit in shadow)

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["levitate"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["seqrw", "--system", "windows"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["seqrw"])
+        assert args.system == "dilos-readahead"
+        assert args.ratio == 0.125
+        assert args.mode == "read"
+
+
+class TestCommands:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "fastswap" in out
+        assert "dilos-readahead" in out
+
+    def test_seqrw(self, capsys):
+        assert main(["seqrw", "--ws-mib", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GB/s" in out
+        assert "major_faults" in out
+
+    def test_seqrw_on_fastswap(self, capsys):
+        assert main(["seqrw", "--ws-mib", "2", "--system", "fastswap",
+                     "--mode", "write"]) == 0
+        assert "Fastswap" in capsys.readouterr().out
+
+    def test_quicksort(self, capsys):
+        assert main(["quicksort", "--count", "8192"]) == 0
+        assert "sorted" in capsys.readouterr().out
+
+    def test_kmeans(self, capsys):
+        assert main(["kmeans", "--points", "4096"]) == 0
+        assert "inertia" in capsys.readouterr().out
+
+    def test_snappy_aifm(self, capsys):
+        assert main(["snappy", "--system", "aifm", "--mode",
+                     "decompress"]) == 0
+        assert "snappy decompress" in capsys.readouterr().out
+
+    def test_taxi(self, capsys):
+        assert main(["taxi", "--rows", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_fare" in out
+
+    def test_pagerank(self, capsys):
+        assert main(["pagerank", "--nodes", "1024", "--edges", "8000"]) == 0
+        assert "top vertex" in capsys.readouterr().out
+
+    def test_bc_with_guide(self, capsys):
+        assert main(["bc", "--nodes", "1024", "--edges", "8000",
+                     "--guide"]) == 0
+        assert "app-aware guide" in capsys.readouterr().out
+
+    def test_bc_guide_requires_dilos(self, capsys):
+        assert main(["bc", "--nodes", "1024", "--edges", "8000",
+                     "--guide", "--system", "fastswap"]) == 2
+
+    def test_redis_get(self, capsys):
+        assert main(["redis-get", "--value-size", "4096", "--keys", "100",
+                     "--queries", "100"]) == 0
+        assert "req/s" in capsys.readouterr().out
+
+    def test_redis_lrange_app_aware(self, capsys):
+        assert main(["redis-lrange", "--queries", "100",
+                     "--app-aware"]) == 0
+        assert "req/s" in capsys.readouterr().out
+
+    def test_redis_app_aware_requires_dilos(self, capsys):
+        assert main(["redis-get", "--system", "fastswap",
+                     "--app-aware"]) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the frame pool and the memory node."""
+
+import pytest
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import KIB, PAGE_SIZE
+from repro.mem.frames import FramePool
+from repro.mem.remote import MemoryNode
+
+
+class TestFramePool:
+    def test_alloc_free_cycle(self):
+        pool = FramePool(4)
+        frames = [pool.alloc() for _ in range(4)]
+        assert len(set(frames)) == 4
+        assert pool.free_frames == 0
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc()
+        pool.free(frames[0])
+        assert pool.free_frames == 1
+        assert pool.alloc() == frames[0]
+
+    def test_frames_zeroed_on_alloc(self):
+        pool = FramePool(2)
+        f = pool.alloc()
+        pool.data(f)[:4] = b"dirt"
+        pool.free(f)
+        f2 = pool.alloc()
+        assert f2 == f
+        assert bytes(pool.data(f2)[:4]) == b"\x00" * 4
+
+    def test_double_free_rejected(self):
+        pool = FramePool(2)
+        f = pool.alloc()
+        pool.free(f)
+        with pytest.raises(ValueError):
+            pool.free(f)
+
+    def test_data_of_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            FramePool(2).data(0)
+
+    def test_out_of_range_free_rejected(self):
+        with pytest.raises(ValueError):
+            FramePool(2).free(5)
+
+    def test_counts(self):
+        pool = FramePool(8)
+        pool.alloc()
+        pool.alloc()
+        assert pool.used_frames == 2
+        assert pool.free_frames == 6
+
+
+class TestMemoryNode:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MemoryNode(100)  # not page-multiple
+        with pytest.raises(ValueError):
+            MemoryNode(0)
+
+    def test_rw_roundtrip(self):
+        node = MemoryNode(64 * KIB)
+        node.write_bytes(1000, b"payload")
+        assert node.read_bytes(1000, 7) == b"payload"
+
+    def test_bounds_checked(self):
+        node = MemoryNode(2 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            node.read_bytes(2 * PAGE_SIZE - 1, 2)
+        with pytest.raises(ValueError):
+            node.write_bytes(-1, b"x")
+
+    def test_slot_allocation(self):
+        node = MemoryNode(4 * PAGE_SIZE)
+        slots = [node.alloc_slot() for _ in range(4)]
+        assert len(set(slots)) == 4
+        with pytest.raises(OutOfMemoryError):
+            node.alloc_slot()
+        node.free_slot(slots[0])
+        assert node.free_slots == 1
+
+    def test_slot_offsets_disjoint(self):
+        node = MemoryNode(4 * PAGE_SIZE)
+        a, b = node.alloc_slot(), node.alloc_slot()
+        offs = {node.slot_offset(a), node.slot_offset(b)}
+        assert len(offs) == 2
+        for off in offs:
+            assert off % PAGE_SIZE == 0
+
+    def test_failure_injection(self):
+        import pytest as _pytest
+        from repro.mem.remote import NodeFailedError
+        node = MemoryNode(4 * PAGE_SIZE, name="m0")
+        node.write_bytes(0, b"alive")
+        node.fail()
+        assert node.failed
+        with _pytest.raises(NodeFailedError):
+            node.read_bytes(0, 5)
+        with _pytest.raises(NodeFailedError):
+            node.write_bytes(0, b"x")
+        node.recover()
+        assert node.read_bytes(0, 5) == b"alive"

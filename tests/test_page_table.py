@@ -1,0 +1,102 @@
+"""Unit + property tests for the 4-level radix page table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import pte
+from repro.mem.page_table import PageTable
+
+
+class TestBasics:
+    def test_unmapped_is_zero(self):
+        assert PageTable().get(12345) == 0
+
+    def test_set_get(self):
+        pt = PageTable()
+        pt.set(100, pte.make_local(5))
+        assert pt.get(100) == pte.make_local(5)
+
+    def test_set_zero_clears(self):
+        pt = PageTable()
+        pt.set(100, pte.make_local(5))
+        pt.set(100, 0)
+        assert pt.get(100) == 0
+        assert list(pt.entries()) == []
+
+    def test_distant_vpns_do_not_alias(self):
+        pt = PageTable()
+        a, b = 0x1, 0x1 + (1 << 27)  # differ only in the top-level index
+        pt.set(a, pte.make_local(1))
+        pt.set(b, pte.make_local(2))
+        assert pte.frame_of(pt.get(a)) == 1
+        assert pte.frame_of(pt.get(b)) == 2
+
+    def test_get_then_set_uncached_leaf(self):
+        """A miss through the read path must not orphan a later set()."""
+        pt = PageTable()
+        assert pt.get(777) == 0  # may populate the leaf cache with a stub
+        pt.set(777, pte.make_local(9))
+        assert pte.frame_of(pt.get(777)) == 9
+        assert dict(pt.entries()) == {777: pte.make_local(9)}
+
+
+class TestCompareAndSet:
+    def test_success(self):
+        pt = PageTable()
+        old = pte.make_remote(3)
+        pt.set(50, old)
+        assert pt.update(50, old, pte.make_fetching(1))
+        assert pte.classify(pt.get(50)) is pte.Tag.FETCHING
+
+    def test_failure_leaves_entry(self):
+        pt = PageTable()
+        pt.set(50, pte.make_fetching(9))
+        assert not pt.update(50, pte.make_remote(3), pte.make_fetching(1))
+        assert pt.get(50) == pte.make_fetching(9)
+
+    def test_update_to_zero_clears(self):
+        pt = PageTable()
+        pt.set(50, pte.make_remote(3))
+        assert pt.update(50, pte.make_remote(3), 0)
+        assert pt.get(50) == 0
+
+
+class TestEntries:
+    def test_iteration_matches_sets(self):
+        pt = PageTable()
+        expected = {}
+        for vpn in [0, 1, 511, 512, 513, 1 << 18, (1 << 27) + 5]:
+            p = pte.make_local(vpn + 1)
+            pt.set(vpn, p)
+            expected[vpn] = p
+        assert dict(pt.entries()) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(
+    keys=st.integers(min_value=0, max_value=(1 << 36) - 1),
+    values=st.integers(min_value=1, max_value=2 ** 30),
+    max_size=64,
+))
+def test_pagetable_behaves_like_dict_property(mapping):
+    pt = PageTable()
+    for vpn, frame in mapping.items():
+        pt.set(vpn, pte.make_local(frame))
+    for vpn, frame in mapping.items():
+        assert pte.frame_of(pt.get(vpn)) == frame
+    assert dict(pt.entries()) == {
+        vpn: pte.make_local(frame) for vpn, frame in mapping.items()}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=1023),
+    st.integers(min_value=0, max_value=2 ** 20)), max_size=100))
+def test_last_write_wins_property(writes):
+    pt = PageTable()
+    shadow = {}
+    for vpn, frame in writes:
+        value = pte.make_local(frame)
+        pt.set(vpn, value)
+        shadow[vpn] = value
+    for vpn, value in shadow.items():
+        assert pt.get(vpn) == value

@@ -1,0 +1,98 @@
+"""Unit + property tests of the unified-page-table PTE encoding (§4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import pte
+
+
+class TestTags:
+    def test_invalid_is_zero(self):
+        assert pte.classify(0) is pte.Tag.INVALID
+
+    def test_local(self):
+        p = pte.make_local(42)
+        assert pte.classify(p) is pte.Tag.LOCAL
+        assert pte.is_present(p)
+        assert pte.frame_of(p) == 42
+
+    def test_remote(self):
+        p = pte.make_remote(7)
+        assert pte.classify(p) is pte.Tag.REMOTE
+        assert not pte.is_present(p)
+        assert pte.payload(p) == 7
+
+    def test_fetching(self):
+        p = pte.make_fetching(1234)
+        assert pte.classify(p) is pte.Tag.FETCHING
+        assert pte.payload(p) == 1234
+
+    def test_action(self):
+        p = pte.make_action(55)
+        assert pte.classify(p) is pte.Tag.ACTION
+        assert pte.payload(p) == 55
+
+    def test_malformed_rejected(self):
+        # Payload present but no tag bits: corruption, not INVALID.
+        with pytest.raises(ValueError):
+            pte.classify(1 << 12)
+
+    def test_frame_of_nonpresent_rejected(self):
+        with pytest.raises(ValueError):
+            pte.frame_of(pte.make_remote(1))
+
+
+class TestBits:
+    def test_accessed_roundtrip(self):
+        p = pte.make_local(3)
+        assert not pte.is_accessed(p)
+        p = pte.set_accessed(p)
+        assert pte.is_accessed(p)
+        p = pte.clear_accessed(p)
+        assert not pte.is_accessed(p)
+
+    def test_dirty_roundtrip(self):
+        p = pte.make_local(3)
+        assert not pte.is_dirty(p)
+        p = pte.set_dirty(p)
+        assert pte.is_dirty(p)
+        p = pte.clear_dirty(p)
+        assert not pte.is_dirty(p)
+
+    def test_readonly_local(self):
+        p = pte.make_local(9, writable=False)
+        assert not p & pte.PTE_WRITE
+        assert pte.classify(p) is pte.Tag.LOCAL
+
+
+@given(frame=st.integers(min_value=0, max_value=2 ** 40),
+       writable=st.booleans(), accessed=st.booleans(), dirty=st.booleans())
+def test_local_roundtrip_property(frame, writable, accessed, dirty):
+    p = pte.make_local(frame, writable=writable, accessed=accessed, dirty=dirty)
+    assert pte.classify(p) is pte.Tag.LOCAL
+    assert pte.frame_of(p) == frame
+    assert pte.is_accessed(p) == accessed
+    assert pte.is_dirty(p) == dirty
+    assert bool(p & pte.PTE_WRITE) == writable
+
+
+@given(payload=st.integers(min_value=0, max_value=2 ** 40))
+def test_nonpresent_payload_roundtrip_property(payload):
+    for maker, tag in [(pte.make_remote, pte.Tag.REMOTE),
+                       (pte.make_fetching, pte.Tag.FETCHING),
+                       (pte.make_action, pte.Tag.ACTION)]:
+        p = maker(payload)
+        assert pte.classify(p) is tag
+        assert pte.payload(p) == payload
+        assert not pte.is_present(p)
+
+
+@given(payload=st.integers(min_value=1, max_value=2 ** 30))
+def test_tags_are_distinct_property(payload):
+    encodings = {
+        pte.make_local(payload),
+        pte.make_remote(payload),
+        pte.make_fetching(payload),
+        pte.make_action(payload),
+    }
+    assert len(encodings) == 4

@@ -1,0 +1,60 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.mem.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb()
+    assert tlb.lookup(5) is None
+    tlb.fill(5, frame=9, writable=True, dirty_set=False)
+    assert tlb.lookup(5) == (9, True, False)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_capacity_eviction_is_lru():
+    tlb = Tlb(capacity=2)
+    tlb.fill(1, 1, True, False)
+    tlb.fill(2, 2, True, False)
+    assert tlb.lookup(1) is not None  # 1 becomes MRU
+    tlb.fill(3, 3, True, False)       # evicts 2
+    assert tlb.lookup(2) is None
+    assert tlb.lookup(1) is not None
+    assert tlb.lookup(3) is not None
+
+
+def test_invalidate():
+    tlb = Tlb()
+    tlb.fill(7, 1, True, False)
+    tlb.invalidate(7)
+    assert tlb.lookup(7) is None
+
+
+def test_invalidate_absent_is_noop():
+    Tlb().invalidate(99)
+
+
+def test_flush():
+    tlb = Tlb()
+    for vpn in range(10):
+        tlb.fill(vpn, vpn, True, False)
+    tlb.flush()
+    assert len(tlb) == 0
+
+
+def test_mark_dirty_set():
+    tlb = Tlb()
+    tlb.fill(4, 2, True, False)
+    tlb.mark_dirty_set(4)
+    assert tlb.lookup(4) == (2, True, True)
+
+
+def test_mark_dirty_absent_is_noop():
+    Tlb().mark_dirty_set(123)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tlb(capacity=0)

@@ -1,0 +1,124 @@
+"""Tests for trace record/replay and result persistence."""
+
+import pytest
+
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core import DilosConfig, DilosSystem
+from repro.harness import Measurement, make_system
+from repro.harness.results import load_csv, load_json, save_csv, save_json
+from repro.harness.trace import Trace, TraceEvent, TraceRecorder
+
+
+def record_sequential(ws_mib=2):
+    system = DilosSystem(DilosConfig(local_mem_bytes=1 * MIB,
+                                     remote_mem_bytes=32 * MIB))
+    recorder = TraceRecorder(system)
+    region = system.mmap(ws_mib * MIB, name="traced")
+    pages = region.size // PAGE_SIZE
+    for i in range(pages):
+        system.memory.write(region.base + i * PAGE_SIZE, b"w" * 64)
+        system.cpu(0.5)
+    for i in range(pages):
+        system.memory.read(region.base + i * PAGE_SIZE, 64)
+    return recorder.finish(), pages
+
+
+class TestRecording:
+    def test_captures_all_accesses(self):
+        trace, pages = record_sequential()
+        assert len(trace) == 2 * pages
+        assert trace.bytes_accessed == 2 * pages * 64
+        assert trace.events[0].op == "write"
+        assert trace.events[-1].op == "read"
+
+    def test_gaps_reflect_compute(self):
+        trace, pages = record_sequential()
+        write_gaps = [e.gap_us for e in trace.events[1:pages]]
+        # Each write was preceded by 0.5 us of compute (plus fault time
+        # excluded, since gaps measure time *between* accesses).
+        assert all(g >= 0.5 for g in write_gaps)
+
+    def test_recorder_detaches(self):
+        system = DilosSystem(DilosConfig(local_mem_bytes=1 * MIB,
+                                         remote_mem_bytes=32 * MIB))
+        recorder = TraceRecorder(system)
+        region = system.mmap(1 * MIB)
+        system.memory.write(region.base, b"x")
+        trace = recorder.finish()
+        system.memory.write(region.base, b"y")  # not recorded
+        assert len(trace) == 1
+
+    def test_regions_recorded(self):
+        trace, _ = record_sequential(ws_mib=3)
+        assert trace.regions == [(3 * MIB, True, "traced")]
+
+
+class TestReplay:
+    def test_replay_reproduces_fault_behaviour(self):
+        trace, pages = record_sequential()
+        replay_system = make_system("dilos-readahead", 1 * MIB)
+        metrics = trace.replay(replay_system)
+        # Same layout + same accesses => same first-touch count; majors
+        # appear because the read pass follows eviction, as originally.
+        assert metrics["first_touch_faults"] == pages
+        assert metrics["major_faults"] > 0
+        assert metrics["replay_us"] > 0
+
+    def test_replay_is_deterministic(self):
+        trace, _ = record_sequential()
+        a = trace.replay(make_system("fastswap", 1 * MIB))
+        b = trace.replay(make_system("fastswap", 1 * MIB))
+        for key in ("major_faults", "minor_faults", "replay_us"):
+            assert a[key] == b[key]
+
+    def test_cross_kernel_comparison(self):
+        """The tool's purpose: same trace, different kernels."""
+        trace, _ = record_sequential()
+        dilos = trace.replay(make_system("dilos-readahead", 1 * MIB))
+        fast = trace.replay(make_system("fastswap", 1 * MIB))
+        assert dilos["replay_us"] < fast["replay_us"]
+
+    def test_bad_op_rejected(self):
+        trace = Trace([(PAGE_SIZE, True, "r")],
+                      [TraceEvent("jump", 0x10000000, 8, 0.0)])
+        with pytest.raises(ValueError):
+            trace.replay(make_system("dilos-none", 1 * MIB))
+
+
+class TestTracePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace, _ = record_sequential()
+        path = tmp_path / "seq.trace"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.regions == trace.regions
+        assert loaded.events == trace.events
+
+    def test_loaded_trace_replays(self, tmp_path):
+        trace, _ = record_sequential()
+        path = tmp_path / "seq.trace"
+        trace.save(path)
+        metrics = Trace.load(path).replay(make_system("dilos-none", 1 * MIB))
+        assert metrics["major_faults"] > 0
+
+
+class TestResultsPersistence:
+    @staticmethod
+    def sample():
+        return [Measurement("fastswap", "seq", 0.125, 0.98, "GB/s",
+                            extra={"note": "paper"}),
+                Measurement("dilos-readahead", "seq", 0.125, 3.74, "GB/s")]
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_json(self.sample(), path)
+        loaded = load_json(path)
+        assert loaded == self.sample()
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "results.csv"
+        save_csv(self.sample(), path)
+        loaded = load_csv(path)
+        assert loaded[0].system == "fastswap"
+        assert loaded[1].value == pytest.approx(3.74)
+        assert loaded[0].ratio == pytest.approx(0.125)

@@ -1,0 +1,42 @@
+"""Unit tests for byte/page arithmetic."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_constants():
+    assert units.PAGE_SIZE == 4096
+    assert 1 << units.PAGE_SHIFT == units.PAGE_SIZE
+    assert units.GIB == 1024 * units.MIB == 1024 * 1024 * units.KIB
+
+
+def test_align_down():
+    assert units.align_down(0) == 0
+    assert units.align_down(4095) == 0
+    assert units.align_down(4096) == 4096
+    assert units.align_down(8191) == 4096
+    assert units.align_down(70, 64) == 64
+
+
+def test_align_up():
+    assert units.align_up(0) == 0
+    assert units.align_up(1) == 4096
+    assert units.align_up(4096) == 4096
+    assert units.align_up(4097) == 8192
+    assert units.align_up(70, 64) == 128
+
+
+def test_pages_spanned_basics():
+    assert units.pages_spanned(0, 0) == 0
+    assert units.pages_spanned(0, 1) == 1
+    assert units.pages_spanned(0, 4096) == 1
+    assert units.pages_spanned(0, 4097) == 2
+    assert units.pages_spanned(4095, 2) == 2
+    assert units.pages_spanned(4096, 4096) == 1
+
+
+def test_format_bytes():
+    assert units.format_bytes(512) == "512B"
+    assert units.format_bytes(2048) == "2KiB"
+    assert units.format_bytes(int(2.5 * units.GIB)) == "2.5GiB"

@@ -1,0 +1,81 @@
+"""Unit tests for the paged array/byte views."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core import DilosConfig, DilosSystem
+from repro.apps.views import PagedArray, PagedBytes
+
+
+@pytest.fixture()
+def system():
+    return DilosSystem(DilosConfig(local_mem_bytes=2 * MIB,
+                                   remote_mem_bytes=64 * MIB))
+
+
+class TestPagedArray:
+    def test_store_load_roundtrip(self, system):
+        arr = PagedArray(system, 1000, np.int64)
+        values = np.arange(1000, dtype=np.int64)
+        arr.store(0, values)
+        assert np.array_equal(arr.load(0, 1000), values)
+
+    def test_partial_windows(self, system):
+        arr = PagedArray(system, 100, np.float64)
+        arr.store(10, np.full(5, 2.5))
+        assert np.array_equal(arr.load(10, 15), np.full(5, 2.5))
+        assert np.array_equal(arr.load(0, 5), np.zeros(5))
+
+    def test_get_set(self, system):
+        arr = PagedArray(system, 10, np.int64)
+        arr.set(3, 42)
+        assert arr.get(3) == 42
+
+    def test_bounds(self, system):
+        arr = PagedArray(system, 10, np.int64)
+        with pytest.raises(IndexError):
+            arr.load(5, 11)
+        with pytest.raises(IndexError):
+            arr.store(9, np.zeros(2, dtype=np.int64))
+
+    def test_chunks_cover_exactly(self, system):
+        arr = PagedArray(system, 1000, np.int64)
+        windows = list(arr.chunks(300))
+        assert windows == [(0, 300), (300, 600), (600, 900), (900, 1000)]
+
+    def test_dtype_sizes(self, system):
+        arr = PagedArray(system, 8, np.float32)
+        assert arr.nbytes == 32
+        arr.store(0, np.arange(8, dtype=np.float32))
+        assert arr.load(0, 8)[7] == pytest.approx(7.0)
+
+    def test_survives_eviction(self, system):
+        arr = PagedArray(system, 1 * MIB // 8, np.int64)  # 4x local memory
+        values = np.arange(arr.count, dtype=np.int64)
+        for start, stop in arr.chunks():
+            arr.store(start, values[start:stop])
+        spill = PagedArray(system, 1 * MIB // 8, np.int64, name="spill")
+        for start, stop in spill.chunks():
+            spill.store(start, values[start:stop])
+        for start, stop in arr.chunks():
+            assert np.array_equal(arr.load(start, stop), values[start:stop])
+
+
+class TestPagedBytes:
+    def test_roundtrip(self, system):
+        buf = PagedBytes(system, 3 * PAGE_SIZE)
+        buf.write(PAGE_SIZE - 2, b"span")
+        assert buf.read(PAGE_SIZE - 2, 4) == b"span"
+
+    def test_bounds(self, system):
+        buf = PagedBytes(system, 100)
+        with pytest.raises(IndexError):
+            buf.read(90, 20)
+        with pytest.raises(IndexError):
+            buf.write(99, b"ab")
+
+    def test_chunks(self, system):
+        buf = PagedBytes(system, 100_000)
+        spans = list(buf.chunks(65536))
+        assert spans == [(0, 65536), (65536, 100_000)]
