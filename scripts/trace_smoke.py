@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""End-to-end trace smoke: boot a traced DiLOS, run a tiny sequential
+read under memory pressure, and export + validate both trace formats.
+
+Importable (``main()`` returns 0 on success, raising on any failure) so
+the test suite runs the exact path a user follows; runnable standalone:
+
+    PYTHONPATH=src python scripts/trace_smoke.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.common.units import MIB
+from repro.apps.seqrw import SequentialWorkload
+from repro.harness import make_system
+from repro.obs import (
+    Observability,
+    fault_breakdown_from_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def main(out_dir=None) -> int:
+    if out_dir is None:
+        out_dir = tempfile.mkdtemp(prefix="trace-smoke-")
+    out_dir = Path(out_dir)
+
+    ws = 2 * MIB
+    obs = Observability.tracing()
+    system = make_system("dilos-readahead", local_bytes=ws // 4, obs=obs)
+    result = SequentialWorkload(ws).run(system, mode="read")
+
+    events = obs.tracer.events()
+    if not events:
+        raise AssertionError("traced run produced no events")
+    if obs.tracer.dropped:
+        raise AssertionError(f"ring buffer dropped {obs.tracer.dropped} "
+                             "events at smoke scale")
+
+    # Chrome trace_event export: written only after schema + monotonic-ts
+    # validation, then re-validated from the serialized form.
+    chrome_path = out_dir / "trace.json"
+    write_chrome_trace(obs.tracer, chrome_path)
+    validate_chrome_trace(chrome_path.read_text())
+
+    # JSONL export: one event per line, all lines parse.
+    jsonl_path = out_dir / "trace.jsonl"
+    count = write_jsonl(obs.tracer, jsonl_path)
+    lines = jsonl_path.read_text().strip().splitlines()
+    if count != len(events) or len(lines) != count:
+        raise AssertionError(f"JSONL wrote {len(lines)} lines for "
+                             f"{len(events)} events")
+    for line in lines:
+        json.loads(line)
+
+    # The Fig.-6 cross-check: span durations vs per-component latencies.
+    report = fault_breakdown_from_spans(events)
+    if report["count"] != int(system.metrics()["major_faults"]):
+        raise AssertionError("span count disagrees with fault.major")
+    if report["count"]:
+        rel = (abs(report["span_total_us"] - report["component_total_us"])
+               / report["span_total_us"])
+        if rel > 0.05:
+            raise AssertionError(f"span/component totals diverge {rel:.1%}")
+
+    print(f"trace smoke OK: {len(events)} events, "
+          f"{report['count']} fault.major spans, "
+          f"{result.gb_per_s:.2f} GB/s -> {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

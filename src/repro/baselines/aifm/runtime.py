@@ -16,14 +16,19 @@ Three modeled costs drive every AIFM result in the paper:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 from repro.common.clock import Clock
 from repro.common.errors import OutOfMemoryError
-from repro.common.stats import Counter
 from repro.baselines.aifm.config import AifmConfig
 from repro.mem.remote import MemoryNode
 from repro.net.qp import Completion, NetStats, QueuePair
+from repro.obs import (
+    AIFM_ALIASES,
+    LegacyCounters,
+    MetricsSnapshot,
+    Observability,
+)
 
 
 class _Object:
@@ -75,25 +80,41 @@ class RemPtr:
 class AifmRuntime:
     """The user-level far-memory runtime (one application, one memory node)."""
 
-    def __init__(self, config: Optional[AifmConfig] = None) -> None:
+    def __init__(self, config: Optional[AifmConfig] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.config = config or AifmConfig()
         self.config.validate()
         self.clock = Clock()
         self.model = self.config.latency
         self.node = MemoryNode(self.config.remote_mem_bytes)
         self.stats = NetStats()
+        self.obs = obs or Observability.default()
+        self.registry = self.obs.registry
+        self.tracer = self.obs.tracer
+        self.registry.register_aliases(AIFM_ALIASES)
+        self.counters = LegacyCounters(self.registry)
+        for key in ("fault.major", "fault.minor", "deref.total",
+                    "prefetch.issued", "reclaim.pages_evicted",
+                    "reclaim.pages_cleaned"):
+            self.registry.counter(key)
+        self.registry.gauge("net.bytes_read", lambda: self.stats.bytes_read)
+        self.registry.gauge("net.bytes_written",
+                            lambda: self.stats.bytes_written)
+        self.registry.gauge("heap.bytes_used", lambda: self.heap_used)
         extra = self.model.tcp_extra if self.config.transport == "tcp" else 0.0
         #: Demand fetches and streaming prefetches ride separate connections
         #: (AIFM's prefetcher threads own their own sockets).
         self._qp = QueuePair("aifm-app", self.clock, self.model, self.node,
-                             self.stats, extra_completion_delay=extra)
+                             self.stats, extra_completion_delay=extra,
+                             tracer=self.tracer)
         self._prefetch_qp = QueuePair("aifm-prefetch", self.clock, self.model,
                                       self.node, self.stats,
-                                      extra_completion_delay=extra)
+                                      extra_completion_delay=extra,
+                                      tracer=self.tracer)
         self._evac_qp = QueuePair("aifm-evac", self.clock, self.model,
                                   self.node, self.stats,
-                                  extra_completion_delay=extra)
-        self.counters = Counter()
+                                  extra_completion_delay=extra,
+                                  tracer=self.tracer)
         self._objects: Dict[int, _Object] = {}
         self._lru: "OrderedDict[int, None]" = OrderedDict()
         self._next_oid = 1
@@ -126,7 +147,7 @@ class AifmRuntime:
         self._objects[oid] = obj
         self._lru[oid] = None
         self.heap_used += size
-        self.counters.add("objects_allocated")
+        self.registry.add("heap.objects_allocated")
         self._maybe_evacuate()
         return RemPtr(self, oid)
 
@@ -137,14 +158,14 @@ class AifmRuntime:
         if obj.local is not None:
             self.heap_used -= obj.size
         self._lru.pop(oid, None)
-        self.counters.add("objects_freed")
+        self.registry.add("heap.objects_freed")
 
     # -- dereferencing ------------------------------------------------------------
 
     def _resolve(self, oid: int) -> _Object:
         """Presence check + fetch-on-miss: the core of a dereference."""
         self.clock.advance(self.model.aifm_deref_check)
-        self.counters.add("derefs")
+        self.registry.add("deref.total")
         obj = self._objects.get(oid)
         if obj is None:
             raise ValueError(f"dereference of freed object {oid}")
@@ -179,10 +200,15 @@ class AifmRuntime:
     def _fetch(self, obj: _Object) -> None:
         """Demand-fetch a remote object (synchronous, user-level)."""
         assert obj.inflight is None, "in-flight objects are local-reserved"
+        fetch_start = self.clock.now
         self.clock.advance(self.model.aifm_object_fetch_sw)
         completion = self._qp.post_read(obj.remote_off, obj.size)
-        self.counters.add("object_misses")
+        self.registry.add("fault.major")
         self.clock.advance_to(completion.time)
+        if self.tracer.enabled:
+            self.tracer.complete("fault.major", "fault", fetch_start,
+                                 self.clock.now - fetch_start,
+                                 {"oid": obj.oid, "bytes": obj.size})
         obj.local = bytearray(completion.data)
         obj.dirty = False
         self.heap_used += obj.size
@@ -196,7 +222,10 @@ class AifmRuntime:
         if obj is None or obj.local is not None or obj.inflight is not None:
             return
         completion = self._prefetch_qp.post_read(obj.remote_off, obj.size)
-        self.counters.add("prefetches_issued")
+        self.registry.add("prefetch.issued")
+        if self.tracer.enabled:
+            self.tracer.instant("prefetch.issue", "prefetch", self.clock.now,
+                                {"oid": oid, "bytes": obj.size})
         # Reserve heap now; the data buffer materializes at arrival.
         obj.local = bytearray(obj.size)
         obj.dirty = False
@@ -226,6 +255,8 @@ class AifmRuntime:
         if self.heap_used <= budget:
             return
         target = budget * (1.0 - self.config.evacuation_batch_frac)
+        evac_start = self.clock.now
+        evacuated = 0
         for oid in list(self._lru.keys()):
             if self.heap_used <= target:
                 break
@@ -234,11 +265,16 @@ class AifmRuntime:
                 continue
             if obj.dirty:
                 self._evac_qp.post_write(obj.remote_off, bytes(obj.local))
-                self.counters.add("evacuation_writebacks")
+                self.registry.add("reclaim.pages_cleaned")
             obj.local = None
             self.heap_used -= obj.size
             self._lru.pop(oid, None)
-            self.counters.add("objects_evacuated")
+            self.registry.add("reclaim.pages_evicted")
+            evacuated += 1
+        if evacuated and self.tracer.enabled:
+            self.tracer.complete("reclaim.evacuate", "reclaim", evac_start,
+                                 self.clock.now - evac_start,
+                                 {"evacuated": evacuated})
 
     # -- harness surface ----------------------------------------------------------------
 
@@ -248,16 +284,5 @@ class AifmRuntime:
     def cpu_cycles(self, cycles: float) -> None:
         self.clock.advance(self.model.cycles(cycles))
 
-    def metrics(self) -> Dict[str, Any]:
-        k = self.counters
-        return {
-            "system": self.name,
-            "time_us": self.clock.now,
-            "derefs": k.get("derefs"),
-            "object_misses": k.get("object_misses"),
-            "prefetches_issued": k.get("prefetches_issued"),
-            "objects_evacuated": k.get("objects_evacuated"),
-            "net_bytes_read": self.stats.bytes_read,
-            "net_bytes_written": self.stats.bytes_written,
-            "heap_used": self.heap_used,
-        }
+    def metrics(self) -> MetricsSnapshot:
+        return self.registry.snapshot(self.name, self.clock.now)

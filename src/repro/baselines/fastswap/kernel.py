@@ -18,10 +18,9 @@ Faithfully reproduces the *structure* the paper measures in §3:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Optional
 
 from repro.common.clock import Clock
-from repro.common.stats import Counter, Histogram, LatencyBreakdown
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
 from repro.baselines.fastswap.config import FastswapConfig
 from repro.baselines.fastswap.swap_cache import SwapCache
@@ -32,6 +31,12 @@ from repro.mem.frames import FramePool
 from repro.mem.remote import MemoryNode, NodeFailedError
 from repro.mem.vm import VirtualMemory
 from repro.net.qp import NetStats, QueuePair
+from repro.obs import (
+    FASTSWAP_ALIASES,
+    LegacyCounters,
+    MetricsSnapshot,
+    Observability,
+)
 
 Tag = pte_mod.Tag
 
@@ -47,6 +52,7 @@ class FastswapKernel:
         frames: FramePool,
         vm: VirtualMemory,
         node: MemoryNode,
+        obs: Optional[Observability] = None,
     ) -> None:
         config.validate()
         self.clock = clock
@@ -57,14 +63,23 @@ class FastswapKernel:
         self._frames = frames
         self._vm = vm
         self._node = node
-        self.counters = Counter()
-        self.breakdown = LatencyBreakdown()
-        self.minor_wait = Histogram()
+        self.obs = obs or Observability.default()
+        self.registry = self.obs.registry
+        self.tracer = self.obs.tracer
+        self.registry.register_aliases(FASTSWAP_ALIASES)
+        self.counters = LegacyCounters(self.registry)
+        for key in ("fault.major", "fault.minor", "fault.first_touch",
+                    "prefetch.issued", "reclaim.direct",
+                    "reclaim.pages_evicted", "reclaim.pages_cleaned"):
+            self.registry.counter(key)
+        self.breakdown = self.registry.breakdown("fault.breakdown")
+        self.minor_wait = self.registry.histogram("fault.minor_wait_us")
         self.stats = NetStats()
         #: Faults, readahead, and frontswap stores all share one swap IO
         #: queue — demand fetches queue behind readahead and write-backs
         #: (the head-of-line blocking DiLOS' comm module avoids, §4.5).
-        self.swap_qp = QueuePair("swap", clock, self.model, node, self.stats)
+        self.swap_qp = QueuePair("swap", clock, self.model, node, self.stats,
+                                 tracer=self.tracer)
         self.swap_cache = SwapCache()
         self._lru: "OrderedDict[int, None]" = OrderedDict()
         total = frames.total_frames
@@ -83,12 +98,13 @@ class FastswapKernel:
     def handle_fault(self, va: int, is_write: bool) -> None:
         model = self.model
         vpn = va >> PAGE_SHIFT
+        fault_start = self.clock.now
         self.clock.advance(model.hw_exception + model.os_fault_entry)
         entry = self._pt.get(vpn)
         tag = pte_mod.classify(entry)
 
         if tag is Tag.LOCAL:
-            self.counters.add("spurious_faults")
+            self.registry.add("fault.spurious")
             return
         if tag is Tag.INVALID:
             self._first_touch(vpn, va)
@@ -101,7 +117,7 @@ class FastswapKernel:
         if cached is not None:
             self._minor_fault(vpn, cached)
         else:
-            self._major_fault(vpn)
+            self._major_fault(vpn, fault_start)
 
     def _first_touch(self, vpn: int, va: int) -> None:
         region = self._as.region_for(va)
@@ -113,12 +129,18 @@ class FastswapKernel:
                                              writable=region.writable))
         if region.ddc:
             self._lru[vpn] = None
-        self.counters.add("first_touch_faults")
+        self.registry.add("fault.first_touch")
+        if self.tracer.enabled:
+            self.tracer.instant("fault.first_touch", "fault", self.clock.now,
+                                {"vpn": vpn})
 
     def _minor_fault(self, vpn: int, cached) -> None:
         """Map a page already sitting in the swap cache."""
         frame, ready = cached
-        self.counters.add("minor_faults")
+        self.registry.add("fault.minor")
+        if self.tracer.enabled:
+            self.tracer.instant("fault.minor", "fault", self.clock.now,
+                                {"vpn": vpn, "kind": "swap_cache"})
         # Take the page reference first (lock_page pins it) so concurrent
         # reclaim cannot drop the entry while we wait out its IO.
         self.swap_cache.remove(vpn)
@@ -133,9 +155,9 @@ class FastswapKernel:
                                              writable=writable))
         self._lru[vpn] = None
 
-    def _major_fault(self, vpn: int) -> None:
+    def _major_fault(self, vpn: int, fault_start: float) -> None:
         model = self.model
-        self.counters.add("major_faults")
+        self.registry.add("fault.major")
         components = {"exception": model.hw_exception + model.os_fault_entry}
 
         reclaim_us = self._maybe_direct_reclaim()
@@ -154,7 +176,7 @@ class FastswapKernel:
                 self._as.remote_offset_for(vpn), PAGE_SIZE)
         except NodeFailedError:
             self._frames.free(frame)
-            self.counters.add("fetch_node_failures")
+            self.registry.add("net.fetch_node_failures")
             raise
         self._readahead(vpn)
         self.clock.advance_to(completion.time)
@@ -167,6 +189,10 @@ class FastswapKernel:
                                              writable=writable))
         self._lru[vpn] = None
         self.breakdown.record_fault(components)
+        if self.tracer.enabled:
+            self.tracer.complete("fault.major", "fault", fault_start,
+                                 self.clock.now - fault_start,
+                                 {"vpn": vpn, "components": dict(components)})
 
     # -- swap readahead ---------------------------------------------------------
 
@@ -180,7 +206,7 @@ class FastswapKernel:
             if self.swap_cache.contains(vpn):
                 continue
             if self._frames.free_frames <= self.min_watermark:
-                self.counters.add("readahead_skipped_no_frames")
+                self.registry.add("prefetch.skipped_no_frames")
                 break
             frame = self._frames.alloc()
             try:
@@ -193,7 +219,10 @@ class FastswapKernel:
             # immutable remotely while unmapped, so snapshot now.
             self._frames.data(frame)[:] = completion.data
             self.swap_cache.insert(vpn, frame, completion.time)
-            self.counters.add("readahead_issued")
+            self.registry.add("prefetch.issued")
+            if self.tracer.enabled:
+                self.tracer.instant("prefetch.issue", "prefetch",
+                                    self.clock.now, {"vpn": vpn})
 
     # -- reclamation ----------------------------------------------------------------
 
@@ -207,10 +236,15 @@ class FastswapKernel:
             return 0.0
         target = min(self.config.reclaim_batch,
                      self.high_watermark - self._frames.free_frames)
+        start = self.clock.now
         inline_us = self._reclaim_pages(
             target, offload=self.model.fastswap_reclaim_offload_fraction)
-        self.counters.add("direct_reclaims")
+        self.registry.add("reclaim.direct")
         self.clock.advance(inline_us)
+        if self.tracer.enabled:
+            self.tracer.complete("reclaim.direct", "reclaim", start,
+                                 self.clock.now - start,
+                                 {"inline_us": inline_us})
         return inline_us
 
     def _reclaim_pages(self, target: int, offload: float,
@@ -238,7 +272,7 @@ class FastswapKernel:
             self._frames.free(frame)
             cpu_us += model.fastswap_reclaim_per_page * 0.5
             evicted += 1
-            self.counters.add("swapcache_reclaimed")
+            self.registry.add("swapcache.reclaimed")
         # Then the LRU, paying write-backs for dirty pages.
         rotations = 0
         max_rotations = 2 * len(self._lru) + 1
@@ -265,17 +299,17 @@ class FastswapKernel:
                         bytes(self._frames.data(frame)))
                 except NodeFailedError:
                     # Cannot write back: keep the page resident.
-                    self.counters.add("writeback_node_failures")
+                    self.registry.add("net.writeback_node_failures")
                     self._lru[vpn] = None
                     continue
                 # frontswap stores are synchronous: wait out the write.
                 wire_us += max(0.0, completion.time - self.clock.now)
-                self.counters.add("writebacks")
+                self.registry.add("reclaim.pages_cleaned")
             self._pt.set(vpn, pte_mod.make_remote(self._as.remote_pfn_for(vpn)))
             self._vm.tlb.invalidate(vpn)
             self._frames.free(frame)
             evicted += 1
-            self.counters.add("pages_evicted")
+            self.registry.add("reclaim.pages_evicted")
         return cpu_us * (1.0 - offload) + wire_us
 
     def _kswapd_tick(self) -> None:
@@ -283,9 +317,14 @@ class FastswapKernel:
         kswapd runs on another core)."""
         deficit = self.high_watermark - self._frames.free_frames
         if deficit > 0:
+            start = self.clock.now
             self._reclaim_pages(min(deficit, self.config.kswapd_batch),
                                 offload=1.0, allow_writeback=False)
-            self.counters.add("kswapd_runs")
+            self.registry.add("reclaim.kswapd_runs")
+            if self.tracer.enabled:
+                self.tracer.complete("reclaim.kswapd", "reclaim", start,
+                                     self.clock.now - start,
+                                     {"deficit": deficit})
         self.clock.call_after(self.config.kswapd_period_us, self._kswapd_tick)
 
     # -- teardown ---------------------------------------------------------------------
@@ -310,9 +349,11 @@ class FastswapSystem(BaseSystem):
     """A booted Fastswap computing node attached to a fresh memory node."""
 
     def __init__(self, config: Optional[FastswapConfig] = None,
-                 memory_backend=None) -> None:
+                 memory_backend=None,
+                 obs: Optional[Observability] = None) -> None:
         """Boot a node; ``memory_backend`` overrides the default single
-        memory node (e.g. a cluster from :mod:`repro.mem.cluster`)."""
+        memory node (e.g. a cluster from :mod:`repro.mem.cluster`);
+        ``obs`` injects a shared registry or an enabled tracer."""
         self.config = config or FastswapConfig()
         self.config.validate()
         self.clock = Clock()
@@ -322,8 +363,17 @@ class FastswapSystem(BaseSystem):
         self.addr_space = AddressSpace(self.node)
         self.vm = VirtualMemory(self.clock, self.addr_space.page_table,
                                 self.frames, self.model.cpu_copy_per_byte)
+        self.obs = obs or Observability.default()
         self.kernel = FastswapKernel(self.clock, self.config, self.addr_space,
-                                     self.frames, self.vm, self.node)
+                                     self.frames, self.vm, self.node,
+                                     obs=self.obs)
+        registry = self.obs.registry
+        registry.gauge("net.bytes_read", lambda: self.kernel.stats.bytes_read)
+        registry.gauge("net.bytes_written",
+                       lambda: self.kernel.stats.bytes_written)
+        registry.gauge("tlb.hits", lambda: self.vm.tlb.hits)
+        registry.gauge("tlb.misses", lambda: self.vm.tlb.misses)
+        registry.gauge("swapcache.size", lambda: len(self.kernel.swap_cache))
 
     @property
     def name(self) -> str:
@@ -333,24 +383,5 @@ class FastswapSystem(BaseSystem):
         self.kernel.release_region(region)
         self.addr_space.munmap(region)
 
-    def metrics(self) -> Dict[str, Any]:
-        k = self.kernel.counters
-        result = {
-            "system": self.name,
-            "time_us": self.clock.now,
-            "major_faults": k.get("major_faults"),
-            "minor_faults": k.get("minor_faults"),
-            "first_touch_faults": k.get("first_touch_faults"),
-            "prefetches_issued": k.get("readahead_issued"),
-            "direct_reclaims": k.get("direct_reclaims"),
-            "pages_evicted": k.get("pages_evicted"),
-            "pages_cleaned": k.get("writebacks"),
-            "net_bytes_read": self.kernel.stats.bytes_read,
-            "net_bytes_written": self.kernel.stats.bytes_written,
-            "tlb_hits": self.vm.tlb.hits,
-            "tlb_misses": self.vm.tlb.misses,
-            "swap_cache_size": len(self.kernel.swap_cache),
-        }
-        result.update({f"counter.{name}": value
-                       for name, value in k.as_dict().items()})
-        return result
+    def metrics(self) -> MetricsSnapshot:
+        return self.obs.registry.snapshot(self.name, self.clock.now)

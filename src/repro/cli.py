@@ -56,6 +56,66 @@ def _boot(args, footprint: int):
     return make_system(args.system, local_bytes_for(footprint, args.ratio))
 
 
+def cmd_trace(args) -> int:
+    """Run one workload with event tracing on, print a Fig.-6-style fault
+    breakdown computed from the recorded spans, and export the trace as
+    Chrome ``trace_event`` JSON (Perfetto-loadable) and/or JSONL."""
+    from repro.obs import (
+        Observability,
+        fault_breakdown_from_spans,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    builders = {
+        "seqrw": lambda: SequentialWorkload(args.ws_mib * MIB),
+        "quicksort": lambda: QuicksortWorkload(count=args.size or (1 << 14)),
+        "kmeans": lambda: KMeansWorkload(n_points=args.size or (1 << 13)),
+        "taxi": lambda: TaxiAnalyticsWorkload(rows=args.size or (1 << 14)),
+    }
+    workload = builders[args.workload]()
+    if args.system.startswith("aifm") and args.workload != "taxi":
+        print("error: only the taxi workload has an AIFM port",
+              file=sys.stderr)
+        return 2
+    if args.capacity <= 0:
+        print("error: --capacity must be a positive event count",
+              file=sys.stderr)
+        return 2
+    obs = Observability.tracing(capacity=args.capacity)
+    system = make_system(
+        args.system, local_bytes_for(workload.footprint_bytes, args.ratio),
+        obs=obs)
+    if args.workload == "seqrw":
+        workload.run(system, args.mode, verify=(args.mode == "read"))
+    elif args.system.startswith("aifm"):
+        workload.run_aifm(system)
+    else:
+        workload.run(system)
+
+    tracer = obs.tracer
+    print(f"{system.name}: {args.workload} recorded {len(tracer)} trace "
+          f"events ({tracer.dropped} dropped at the ring buffer) over "
+          f"{system.clock.now / 1000:.2f} simulated ms")
+    breakdown = fault_breakdown_from_spans(tracer)
+    if breakdown["count"]:
+        rows = [[component, f"{avg_us:.3f}"]
+                for component, avg_us in sorted(
+                    breakdown["components"].items())]
+        rows.append(["total (avg span)", f"{breakdown['avg_total_us']:.3f}"])
+        print(format_table(
+            f"fault.major breakdown from {breakdown['count']} spans (us)",
+            ["component", "avg_us"], rows))
+    if args.out:
+        write_chrome_trace(tracer, args.out, process_name=system.name)
+        print(f"wrote Chrome trace to {args.out} "
+              "(load it at https://ui.perfetto.dev)")
+    if args.jsonl:
+        count = write_jsonl(tracer, args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Sweep one workload across systems and local-memory ratios, printing
     a Figure 7/8-style table (optionally saving JSON for plotting)."""
@@ -84,7 +144,7 @@ def cmd_sweep(args) -> int:
         else:
             result = workload.run(system)
         return Measurement("", "", 0.0, value=result.elapsed_us / 1000.0,
-                           unit="ms")
+                           unit="ms").record_metrics(system)
 
     measurements = sweep_ratios(args.workload, runner, args.systems,
                                 args.ratios)
@@ -278,6 +338,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload size override (elements/rows)")
     p.add_argument("--save", default=None, help="write results JSON here")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="run a workload with event tracing; export the trace")
+    common(p)
+    p.add_argument("workload",
+                   choices=("seqrw", "quicksort", "kmeans", "taxi"))
+    p.add_argument("--mode", choices=("read", "write"), default="read",
+                   help="seqrw access mode")
+    p.add_argument("--ws-mib", type=int, default=4,
+                   help="seqrw working-set size in MiB")
+    p.add_argument("--size", type=int, default=None,
+                   help="workload size override (elements/rows)")
+    p.add_argument("--capacity", type=int, default=1 << 18,
+                   help="tracer ring-buffer capacity (events)")
+    p.add_argument("--out", default=None,
+                   help="write Chrome trace_event JSON here")
+    p.add_argument("--jsonl", default=None, help="write JSONL events here")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("seqrw", help="sequential read/write microbenchmark")
     common(p)

@@ -10,7 +10,6 @@ on either — only AIFM (by design) needs ported workloads.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict
 
 from repro.common.clock import Clock
 from repro.common.units import PAGE_SIZE
@@ -19,6 +18,7 @@ from repro.mem.frames import FramePool
 from repro.mem.remote import MemoryNode
 from repro.mem.vm import VirtualMemory
 from repro.net.latency import LatencyModel
+from repro.obs import MetricsSnapshot, Observability
 
 
 class BaseSystem(abc.ABC):
@@ -30,6 +30,8 @@ class BaseSystem(abc.ABC):
     addr_space: AddressSpace
     frames: FramePool
     vm: VirtualMemory
+    #: Registry + tracer bundle; inject via the constructor's ``obs=``.
+    obs: Observability
 
     # -- memory mapping ----------------------------------------------------
 
@@ -73,8 +75,15 @@ class BaseSystem(abc.ABC):
         return self.frames.total_frames
 
     @abc.abstractmethod
-    def metrics(self) -> Dict[str, Any]:
-        """A flat snapshot of every counter the harness reports on."""
+    def metrics(self) -> MetricsSnapshot:
+        """A typed snapshot of every instrument the harness reports on.
+
+        The snapshot is built from the system's
+        :class:`~repro.obs.MetricsRegistry` under canonical dotted names
+        (``fault.major``, ``net.bytes_read``, ...). It also implements
+        the mapping protocol over ``as_flat_dict()``, so historical
+        ``metrics()["major_faults"]`` subscripting keeps working.
+        """
 
     @property
     @abc.abstractmethod

@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 from repro.common.clock import Clock
 from repro.net.latency import LatencyModel
 from repro.net.qp import NetStats, QueuePair
+from repro.obs.tracer import NULL_TRACER
 
 #: The paging modules that own queues (plus one per app-aware guide).
 MODULES = ("fault", "prefetch", "manager", "guide")
@@ -33,6 +34,7 @@ class CommModule:
         cores: int = 1,
         shared_single_qp: bool = False,
         extra_completion_delay: float = 0.0,
+        tracer=NULL_TRACER,
     ) -> None:
         self._clock = clock
         self._model = model
@@ -40,6 +42,7 @@ class CommModule:
         self._cores = cores
         self._shared = shared_single_qp
         self._extra_delay = extra_completion_delay
+        self.tracer = tracer
         self.stats = NetStats()
         self._qps: Dict[Tuple[str, int], QueuePair] = {}
 
@@ -59,6 +62,7 @@ class CommModule:
                 remote=self._remote,
                 stats=self.stats,
                 extra_completion_delay=self._extra_delay,
+                tracer=self.tracer,
             )
             self._qps[key] = qp
         return qp

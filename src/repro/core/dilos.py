@@ -20,11 +20,10 @@ scatter-gather path are refetched as exactly their live ranges.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.clock import Clock
 from repro.common.errors import InvalidAddressError
-from repro.common.stats import Counter, Histogram, LatencyBreakdown
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
 from repro.core.api import BaseSystem
 from repro.core.comm import CommModule
@@ -38,6 +37,12 @@ from repro.mem.frames import FramePool
 from repro.mem.remote import MemoryNode, NodeFailedError
 from repro.mem.vm import VirtualMemory
 from repro.net.qp import Completion
+from repro.obs import (
+    DILOS_ALIASES,
+    LegacyCounters,
+    MetricsSnapshot,
+    Observability,
+)
 
 Tag = pte_mod.Tag
 
@@ -69,6 +74,7 @@ class DilosKernel:
         frames: FramePool,
         vm: VirtualMemory,
         node: MemoryNode,
+        obs: Optional[Observability] = None,
     ) -> None:
         config.validate()
         self.clock = clock
@@ -79,22 +85,35 @@ class DilosKernel:
         self._frames = frames
         self._vm = vm
         self._node = node
-        self.counters = Counter()
-        self.breakdown = LatencyBreakdown()
-        self.minor_wait = Histogram()
+        self.obs = obs or Observability.default()
+        self.registry = self.obs.registry
+        self.tracer = self.obs.tracer
+        self.registry.register_aliases(DILOS_ALIASES)
+        #: Legacy flat-name view over the registry (``counters.get("major_faults")``).
+        self.counters = LegacyCounters(self.registry)
+        # Pre-register the headline counters so metrics() always carries
+        # them (at zero), matching the historical flat dict's key set.
+        for key in ("fault.major", "fault.minor", "fault.first_touch",
+                    "prefetch.issued", "reclaim.direct",
+                    "reclaim.pages_evicted", "reclaim.pages_cleaned"):
+            self.registry.counter(key)
+        self.breakdown = self.registry.breakdown("fault.breakdown")
+        self.minor_wait = self.registry.histogram("fault.minor_wait_us")
         self.comm = CommModule(
             clock, self.model, node, cores=config.cores,
             shared_single_qp=config.shared_single_qp,
             extra_completion_delay=(self.model.tcp_extra
                                     if config.tcp_emulation else 0.0),
+            tracer=self.tracer,
         )
         self.page_manager = PageManager(
             clock, config, self._pt, frames, addr_space, vm.tlb,
-            self.comm, self.counters)
+            self.comm, self.obs)
         self.prefetcher = make_prefetcher(
             config.prefetcher, window=config.readahead_window,
             history=config.trend_history, max_window=config.trend_max_window)
-        self.hit_tracker = PteHitTracker(clock, self._pt, self.model)
+        self.hit_tracker = PteHitTracker(clock, self._pt, self.model,
+                                         tracer=self.tracer)
         self.recent_faults: deque = deque(maxlen=64)
         self._ops = _PrefetchOps(self)
         self._prefetch_guide: Optional[PrefetchGuide] = None
@@ -123,7 +142,9 @@ class DilosKernel:
     def handle_fault(self, va: int, is_write: bool) -> None:
         clock = self.clock
         model = self.model
+        tracer = self.tracer
         vpn = va >> PAGE_SHIFT
+        fault_start = clock.now
         clock.advance(model.hw_exception + model.os_fault_entry)
         clock.advance(model.dilos_pte_check)
         entry = self._pt.get(vpn)
@@ -133,12 +154,15 @@ class DilosKernel:
             # A prefetch install landed between the access and the handler
             # reading the PTE: the page is already here, no IO needed —
             # DiLOS' analogue of a minor fault.
-            self.counters.add("minor_faults")
-            self.counters.add("resolved_during_exception")
+            self.registry.add("fault.minor")
+            self.registry.add("fault.resolved_during_exception")
+            if tracer.enabled:
+                tracer.instant("fault.minor", "fault", clock.now,
+                               {"vpn": vpn, "kind": "resolved"})
             return
 
         if tag is Tag.FETCHING:
-            self._wait_for_fetch(entry)
+            self._wait_for_fetch(entry, vpn)
             return
 
         if tag is Tag.INVALID:
@@ -153,21 +177,28 @@ class DilosKernel:
                 # the swap-cache indirection; pay a minor fault to map it.
                 clock.advance(model.fastswap_minor_fault)
                 self._map(vpn, frame, dirty=False)
-                self.counters.add("minor_faults")
+                self.registry.add("fault.minor")
+                if tracer.enabled:
+                    tracer.instant("fault.minor", "fault", clock.now,
+                                   {"vpn": vpn, "kind": "swap_cache"})
                 return
-        self._major_fault(vpn, va, entry, tag)
+        self._major_fault(vpn, va, entry, tag, fault_start)
 
-    def _wait_for_fetch(self, entry: int) -> None:
+    def _wait_for_fetch(self, entry: int, vpn: int) -> None:
         """Spin until a concurrent fetch of this page completes."""
         token = pte_mod.payload(entry)
-        self.counters.add("minor_faults")
+        self.registry.add("fault.minor")
+        start = self.clock.now
         self.clock.advance(self.model.dilos_wait_fetch)
         ready = self._fetch_ready.get(token)
-        if ready is None:
-            return  # installed during our own advance; retry will hit LOCAL
-        waited = max(0.0, ready - self.clock.now)
-        self.minor_wait.record(waited)
-        self.clock.advance_to(ready)
+        if ready is not None:
+            waited = max(0.0, ready - self.clock.now)
+            self.minor_wait.record(waited)
+            self.clock.advance_to(ready)
+        # else: installed during our own advance; retry will hit LOCAL
+        if self.tracer.enabled:
+            self.tracer.complete("fault.minor_wait", "fault", start,
+                                 self.clock.now - start, {"vpn": vpn})
 
     def _first_touch(self, vpn: int, va: int) -> None:
         """Zero-fill a never-materialized page of a mapped region."""
@@ -180,14 +211,18 @@ class DilosKernel:
                                              writable=region.writable))
         if region.ddc:
             self.page_manager.insert(vpn)
-        self.counters.add("first_touch_faults")
+        self.registry.add("fault.first_touch")
         if inline_us:
-            self.counters.add("first_touch_inline_reclaims")
+            self.registry.add("fault.first_touch_inline_reclaims")
+        if self.tracer.enabled:
+            self.tracer.instant("fault.first_touch", "fault", self.clock.now,
+                                {"vpn": vpn})
 
-    def _major_fault(self, vpn: int, va: int, entry: int, tag: Tag) -> None:
+    def _major_fault(self, vpn: int, va: int, entry: int, tag: Tag,
+                     fault_start: float) -> None:
         clock = self.clock
         model = self.model
-        self.counters.add("major_faults")
+        self.registry.add("fault.major")
         self.recent_faults.append(vpn)
         components = {
             "exception": model.hw_exception + model.os_fault_entry,
@@ -214,7 +249,7 @@ class DilosKernel:
             if self._prefetch_guide is not None:
                 handled = self._prefetch_guide.on_fault(self._guide_ctx, va)
                 if handled:
-                    self.counters.add("guide_handled_faults")
+                    self.registry.add("guide.handled_faults")
             if not handled:
                 self.hit_tracker.scan()
                 self.prefetcher.on_major_fault(vpn, self._ops)
@@ -224,6 +259,10 @@ class DilosKernel:
 
         clock.advance(model.dilos_map)
         self.breakdown.record_fault(components)
+        if self.tracer.enabled:
+            self.tracer.complete("fault.major", "fault", fault_start,
+                                 clock.now - fault_start,
+                                 {"vpn": vpn, "components": dict(components)})
 
     # -- fetch machinery ---------------------------------------------------------
 
@@ -245,7 +284,7 @@ class DilosKernel:
             self._pt.set(vpn, entry)
             self._frames.free(frame)
             self._fetch_ready.pop(token, None)
-            self.counters.add("fetch_node_failures")
+            self.registry.add("net.fetch_node_failures")
             raise
 
     def _post_fetch(self, vpn: int, frame: int, entry: int, tag: Tag,
@@ -253,7 +292,7 @@ class DilosKernel:
                     into_cache: bool) -> int:
         if tag is Tag.ACTION:
             vector = self.page_manager.action_vector(vpn)
-            self.counters.add("action_fetches")
+            self.registry.add("guide.action_fetches")
             if not vector:
                 self._install(vpn, frame, token, None, into_cache)
                 return token
@@ -290,7 +329,7 @@ class DilosKernel:
             # The mapping vanished mid-flight (munmap); drop the page.
             self._frames.free(frame)
             self._fetch_ready.pop(token, None)
-            self.counters.add("fetches_dropped")
+            self.registry.add("net.fetches_dropped")
             return
         if data is not None:
             self._frames.data(frame)[:] = data
@@ -298,7 +337,7 @@ class DilosKernel:
         if into_cache:
             self._pt.set(vpn, pte_mod.make_remote(self._as.remote_pfn_for(vpn)))
             self._swap_cache[vpn] = frame
-            self.counters.add("swap_cache_installs")
+            self.registry.add("swapcache.installs")
             return
         self._map(vpn, frame, dirty=False)
 
@@ -325,7 +364,10 @@ class DilosKernel:
         except NodeFailedError:
             # A dead node must not take down speculative work.
             return False
-        self.counters.add("prefetches_issued")
+        self.registry.add("prefetch.issued")
+        if self.tracer.enabled:
+            self.tracer.instant("prefetch.issue", "prefetch", self.clock.now,
+                                {"vpn": vpn})
         ready = self._fetch_ready.get(token)
         if ready is not None:
             self.clock.call_at(ready, lambda: self.hit_tracker.note_installed(vpn))
@@ -369,7 +411,7 @@ class DilosKernel:
                          on_complete=lambda c: callback(c.data))
         else:
             qp.post_read_sg(segments, on_complete=lambda c: callback(c.data))
-        self.counters.add("guide_subpage_fetches")
+        self.registry.add("guide.subpage_fetches")
         return True
 
     def peek_local(self, va: int, size: int) -> Optional[bytes]:
@@ -403,7 +445,7 @@ class DilosKernel:
         for vpn in range(first, last + 1):
             if self.prefetch_vpn(vpn):
                 issued += 1
-        self.counters.add("madvise_willneed_pages", issued)
+        self.registry.add("madvise.willneed_pages", issued)
         return issued
 
     def madvise_dontneed(self, va: int, size: int) -> int:
@@ -434,7 +476,7 @@ class DilosKernel:
             self.page_manager.drop(vpn)
             self._as.release_remote(vpn)
             dropped += 1
-        self.counters.add("madvise_dontneed_pages", dropped)
+        self.registry.add("madvise.dontneed_pages", dropped)
         return dropped
 
     # -- teardown -----------------------------------------------------------------
@@ -464,10 +506,12 @@ class DilosSystem(BaseSystem):
     """A booted DiLOS computing node attached to a fresh memory node."""
 
     def __init__(self, config: Optional[DilosConfig] = None,
-                 memory_backend=None) -> None:
+                 memory_backend=None,
+                 obs: Optional[Observability] = None) -> None:
         """Boot a node; ``memory_backend`` overrides the default single
         memory node (e.g. a sharded/replicated cluster from
-        :mod:`repro.mem.cluster`)."""
+        :mod:`repro.mem.cluster`); ``obs`` injects a shared registry or
+        an enabled tracer (``Observability.tracing()``)."""
         self.config = config or DilosConfig()
         self.config.validate()
         self.clock = Clock()
@@ -477,8 +521,21 @@ class DilosSystem(BaseSystem):
         self.addr_space = AddressSpace(self.node)
         self.vm = VirtualMemory(self.clock, self.addr_space.page_table,
                                 self.frames, self.model.cpu_copy_per_byte)
+        self.obs = obs or Observability.default()
         self.kernel = DilosKernel(self.clock, self.config, self.addr_space,
-                                  self.frames, self.vm, self.node)
+                                  self.frames, self.vm, self.node,
+                                  obs=self.obs)
+        registry = self.obs.registry
+        registry.gauge("net.bytes_read",
+                       lambda: self.kernel.comm.stats.bytes_read)
+        registry.gauge("net.bytes_written",
+                       lambda: self.kernel.comm.stats.bytes_written)
+        registry.gauge("tlb.hits", lambda: self.vm.tlb.hits)
+        registry.gauge("tlb.misses", lambda: self.vm.tlb.misses)
+        registry.gauge("prefetch.hit_ratio",
+                       lambda: self.kernel.hit_tracker.hit_ratio())
+        registry.gauge("reclaim.resident_pages",
+                       lambda: self.kernel.page_manager.resident_pages)
 
     @property
     def name(self) -> str:
@@ -494,24 +551,5 @@ class DilosSystem(BaseSystem):
         self.kernel.release_region(region)
         self.addr_space.munmap(region)
 
-    def metrics(self) -> Dict[str, Any]:
-        k = self.kernel.counters
-        result = {
-            "system": self.name,
-            "time_us": self.clock.now,
-            "major_faults": k.get("major_faults"),
-            "minor_faults": k.get("minor_faults"),
-            "first_touch_faults": k.get("first_touch_faults"),
-            "prefetches_issued": k.get("prefetches_issued"),
-            "direct_reclaims": k.get("direct_reclaims"),
-            "pages_evicted": k.get("pages_evicted"),
-            "pages_cleaned": k.get("pages_cleaned"),
-            "net_bytes_read": self.kernel.comm.stats.bytes_read,
-            "net_bytes_written": self.kernel.comm.stats.bytes_written,
-            "tlb_hits": self.vm.tlb.hits,
-            "tlb_misses": self.vm.tlb.misses,
-            "prefetch_hit_ratio": self.kernel.hit_tracker.hit_ratio(),
-        }
-        result.update({f"counter.{name}": value
-                       for name, value in k.as_dict().items()})
-        return result
+    def metrics(self) -> MetricsSnapshot:
+        return self.obs.registry.snapshot(self.name, self.clock.now)

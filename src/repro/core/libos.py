@@ -83,7 +83,9 @@ class LibOS:
 
     # -- introspection ------------------------------------------------------------------
 
-    def metrics(self) -> Dict[str, Any]:
+    def metrics(self):
+        """The system's :class:`~repro.obs.MetricsSnapshot` with heap and
+        loader figures added to its ``extra`` bag."""
         metrics = self.system.metrics()
         metrics["heap_live_allocations"] = self.allocator.live_allocations
         metrics["heap_allocated_bytes"] = self.allocator.allocated_bytes

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import Clock
 from repro.common.errors import OutOfMemoryError
-from repro.common.stats import Counter
 from repro.common.units import PAGE_SIZE
 from repro.core.comm import CommModule
 from repro.core.config import DilosConfig
@@ -36,6 +35,7 @@ from repro.mem.frames import FramePool
 from repro.mem.page_table import PageTable
 from repro.mem.remote import NodeFailedError
 from repro.mem.tlb import Tlb
+from repro.obs import LegacyCounters, Observability
 
 Range = Tuple[int, int]
 
@@ -55,7 +55,7 @@ class PageManager:
         addr_space: AddressSpace,
         tlb: Tlb,
         comm: CommModule,
-        counters: Counter,
+        obs: Observability,
     ) -> None:
         self._clock = clock
         self._config = config
@@ -65,7 +65,9 @@ class PageManager:
         self._as = addr_space
         self._tlb = tlb
         self._comm = comm
-        self.counters = counters
+        self._registry = obs.registry
+        self._tracer = obs.tracer
+        self.counters = LegacyCounters(self._registry)
         total = frames.total_frames
         # Watermarks scale with the pool but never reserve more than a
         # quarter of it — a tiny cache must still mostly hold pages.
@@ -116,7 +118,7 @@ class PageManager:
     def alloc_frame_for_prefetch(self) -> Optional[int]:
         """A frame for prefetch; never dips into the fault-path reserve."""
         if self._frames.free_frames <= self.low_watermark:
-            self.counters.add("prefetch_skipped_no_frames")
+            self._registry.add("prefetch.skipped_no_frames")
             return None
         return self._frames.alloc()
 
@@ -154,16 +156,22 @@ class PageManager:
 
     def cleaner_pass(self, budget: int) -> int:
         """Write back up to ``budget`` dirty pages; returns pages cleaned."""
+        start = self._clock.now
         cleaned = 0
         for vpn in self._rotate(budget, second_chance=False):
             entry = self._pt.get(vpn)
             if pte_mod.is_dirty(entry):
                 self._clean(vpn, entry)
                 cleaned += 1
+        if cleaned and self._tracer.enabled:
+            self._tracer.complete("reclaim.cleaner_pass", "reclaim", start,
+                                  self._clock.now - start,
+                                  {"cleaned": cleaned})
         return cleaned
 
     def reclaimer_pass(self, target: int) -> int:
         """Evict up to ``target`` cold clean pages; returns pages evicted."""
+        start = self._clock.now
         evicted = 0
         # Each rotation examines at most the whole LRU once.
         for vpn in self._rotate(len(self._lru), second_chance=True):
@@ -177,6 +185,10 @@ class PageManager:
                     continue  # write-back failed (node down); not evictable
             self._evict(vpn, entry)
             evicted += 1
+        if evicted and self._tracer.enabled:
+            self._tracer.complete("reclaim.reclaimer_pass", "reclaim", start,
+                                  self._clock.now - start,
+                                  {"evicted": evicted})
         return evicted
 
     def _rotate(self, budget: int, second_chance: bool):
@@ -219,24 +231,24 @@ class PageManager:
         try:
             if vector is None:
                 qp.post_write(remote_off, bytes(data))
-                self.counters.add("cleaned_full_pages")
+                self._registry.add("reclaim.cleaned_full_pages")
             elif vector:
                 qp.post_write_sg(
                     [(remote_off + off, bytes(data[off:off + length]))
                      for off, length in vector])
-                self.counters.add("cleaned_guided_pages")
+                self._registry.add("reclaim.cleaned_guided_pages")
             else:
                 # No live bytes at all: nothing to write.
-                self.counters.add("cleaned_empty_pages")
+                self._registry.add("reclaim.cleaned_empty_pages")
         except NodeFailedError:
             # Leave the page dirty; the cleaner retries next pass (and an
             # unprotected backend keeps the data safe locally meanwhile).
-            self.counters.add("writeback_node_failures")
+            self._registry.add("net.writeback_node_failures")
             return
         self._clean_vectors[vpn] = vector
         self._pt.set(vpn, pte_mod.clear_dirty(entry))
         self._tlb.invalidate(vpn)
-        self.counters.add("pages_cleaned")
+        self._registry.add("reclaim.pages_cleaned")
 
     def _evict(self, vpn: int, entry: int) -> None:
         """Unmap a clean page and free its frame."""
@@ -251,7 +263,7 @@ class PageManager:
         self._tlb.invalidate(vpn)
         self._frames.free(frame)
         self._lru.pop(vpn, None)
-        self.counters.add("pages_evicted")
+        self._registry.add("reclaim.pages_evicted")
 
     def _refresh_vector(self, vpn: int) -> Optional[List[Range]]:
         """Re-ask the guide for live ranges at eviction time (§4.4).
@@ -275,6 +287,7 @@ class PageManager:
 
     def _direct_reclaim(self, want: int) -> float:
         """Inline reclamation on the fault path; returns CPU time charged."""
+        start = self._clock.now
         start_free = self._frames.free_frames
         cleaned_inline = 0
         scanned = 0
@@ -291,11 +304,16 @@ class PageManager:
                     continue  # write-back failed (node down); not evictable
             self._evict(vpn, entry)
         reclaimed = self._frames.free_frames - start_free
-        self.counters.add("direct_reclaims")
-        self.counters.add("direct_reclaimed_pages", reclaimed)
+        self._registry.add("reclaim.direct")
+        self._registry.add("reclaim.direct_reclaimed_pages", reclaimed)
         # The write-back wire time of inline cleans is not hidden: Fastswap
         # style direct reclaim pays it on the critical path.
         cost = (scanned * self._model.fastswap_reclaim_per_page
                 + cleaned_inline * self._model.rdma_write_latency(PAGE_SIZE))
         self._clock.advance(cost)
+        if self._tracer.enabled:
+            self._tracer.complete("reclaim.direct", "reclaim", start,
+                                  self._clock.now - start,
+                                  {"reclaimed": reclaimed,
+                                   "scanned": scanned})
         return cost

@@ -18,6 +18,7 @@ from repro.common.clock import Clock
 from repro.mem import pte as pte_mod
 from repro.mem.page_table import PageTable
 from repro.net.latency import LatencyModel
+from repro.obs.tracer import NULL_TRACER
 
 
 class PteHitTracker:
@@ -27,11 +28,13 @@ class PteHitTracker:
     GRACE_US = 40.0
 
     def __init__(self, clock: Clock, page_table: PageTable,
-                 model: LatencyModel, ema_alpha: float = 0.2) -> None:
+                 model: LatencyModel, ema_alpha: float = 0.2,
+                 tracer=NULL_TRACER) -> None:
         self._clock = clock
         self._pt = page_table
         self._model = model
         self._alpha = ema_alpha
+        self._tracer = tracer
         self._pending: Deque[Tuple[int, float]] = deque()
         #: Optimistic prior so cold-start prefetching opens a full window.
         self._hit_ratio = 1.0
@@ -66,4 +69,10 @@ class PteHitTracker:
                                + (1.0 - self._alpha) * self._hit_ratio)
         if matured:
             self.scanned += matured
+            start = self._clock.now
             self._clock.advance(matured * self._model.dilos_hit_track_per_pte)
+            if self._tracer.enabled:
+                self._tracer.complete(
+                    "prefetch.tracker_scan", "prefetch", start,
+                    self._clock.now - start,
+                    {"matured": matured, "hit_ratio": self._hit_ratio})

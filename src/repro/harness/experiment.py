@@ -16,6 +16,7 @@ from repro.common.units import KIB, MIB
 from repro.baselines.aifm import AifmConfig, AifmRuntime
 from repro.baselines.fastswap import FastswapConfig, FastswapSystem
 from repro.core import DilosConfig, DilosSystem
+from repro.obs import Observability
 
 #: Presentation keys, matching the paper's figure legends.
 SYSTEM_KINDS = (
@@ -51,16 +52,20 @@ def local_bytes_for(footprint_bytes: int, ratio: float,
 
 
 def make_system(kind: str, local_bytes: int,
-                remote_bytes: int = 512 * MIB, **overrides: Any):
+                remote_bytes: int = 512 * MIB,
+                obs: Optional[Observability] = None, **overrides: Any):
     """Boot a system by presentation key.
 
     Returns a :class:`BaseSystem` for the paging systems or an
-    :class:`AifmRuntime` for the AIFM variants.
+    :class:`AifmRuntime` for the AIFM variants. ``obs`` injects an
+    observability bundle — e.g. ``Observability.tracing()`` to record
+    simulated-clock trace events — without per-kind constructor churn;
+    the default is a fresh registry with tracing disabled.
     """
     if kind == "fastswap":
         return FastswapSystem(FastswapConfig(
             local_mem_bytes=local_bytes, remote_mem_bytes=remote_bytes,
-            **overrides))
+            **overrides), obs=obs)
     if kind.startswith("dilos"):
         flavor = kind.split("-", 1)[1] if "-" in kind else "readahead"
         config = DilosConfig(local_mem_bytes=local_bytes,
@@ -72,12 +77,13 @@ def make_system(kind: str, local_bytes: int,
             config.prefetcher = flavor
         else:
             raise ValueError(f"unknown DiLOS flavor {flavor!r}")
-        return DilosSystem(config)
+        return DilosSystem(config, obs=obs)
     if kind.startswith("aifm"):
         transport = "rdma" if kind.endswith("rdma") else "tcp"
         return AifmRuntime(AifmConfig(local_heap_bytes=local_bytes,
                                       remote_mem_bytes=remote_bytes,
-                                      transport=transport, **overrides))
+                                      transport=transport, **overrides),
+                           obs=obs)
     raise ValueError(f"unknown system kind {kind!r}; pick from {SYSTEM_KINDS}")
 
 
@@ -91,6 +97,19 @@ class Measurement:
     value: float
     unit: str
     extra: Dict[str, Any] = field(default_factory=dict)
+
+    def record_metrics(self, system) -> "Measurement":
+        """Attach ``system``'s metrics snapshot under ``extra["metrics"]``.
+
+        The snapshot is flattened so saved measurement JSON stays plain
+        (canonical dotted keys plus legacy spellings). Returns ``self``
+        so runners can ``return measurement.record_metrics(system)``.
+        """
+        snapshot = system.metrics()
+        flat = (snapshot.as_flat_dict()
+                if hasattr(snapshot, "as_flat_dict") else dict(snapshot))
+        self.extra["metrics"] = flat
+        return self
 
 
 def sweep_ratios(

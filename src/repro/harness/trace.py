@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.api import BaseSystem
 
@@ -66,9 +66,10 @@ class Trace:
 
     # -- replay ----------------------------------------------------------------
 
-    def replay(self, system: BaseSystem) -> Dict[str, Any]:
-        """Re-create the regions and drive the accesses; returns metrics
-        plus the replay's simulated duration."""
+    def replay(self, system: BaseSystem):
+        """Re-create the regions and drive the accesses; returns the
+        system's :class:`~repro.obs.MetricsSnapshot` with the replay's
+        simulated duration added under ``replay_us``."""
         for size, ddc, name in self.regions:
             system.mmap(size, ddc=ddc, name=name)
         start = system.clock.now

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.clock import Clock
 from repro.net.latency import LatencyModel
+from repro.obs.tracer import NULL_TRACER
 
 
 class NetStats:
@@ -111,12 +112,15 @@ class QueuePair:
         remote,
         stats: NetStats,
         extra_completion_delay: float = 0.0,
+        tracer=NULL_TRACER,
     ) -> None:
         self.name = name
         self._clock = clock
         self._model = model
         self._remote = remote
         self._stats = stats
+        #: Trace sink for wire events (``net.read``/``net.write`` spans).
+        self.tracer = tracer
         #: Additional delay applied to every completion; used for the
         #: DiLOS-TCP / AIFM-TCP emulation (+14,000 cycles, §6.2).
         self.extra_completion_delay = extra_completion_delay
@@ -158,6 +162,10 @@ class QueuePair:
         when = self._schedule(size * self._model.rdma_per_byte,
                               self._model.rdma_read_base)
         self._stats.record(when, size, "read")
+        if self.tracer.enabled:
+            self.tracer.complete("net.read", "net", self._clock.now,
+                                 when - self._clock.now,
+                                 {"qp": self.name, "bytes": size})
         completion = Completion(when, "read", size, data)
         self._register(completion, on_complete)
         return completion
@@ -173,6 +181,10 @@ class QueuePair:
         when = self._schedule(len(data) * self._model.rdma_per_byte,
                               self._model.rdma_write_base)
         self._stats.record(when, len(data), "write")
+        if self.tracer.enabled:
+            self.tracer.complete("net.write", "net", self._clock.now,
+                                 when - self._clock.now,
+                                 {"qp": self.name, "bytes": len(data)})
         completion = Completion(when, "write", len(data), None)
         self._register(completion, on_complete)
         return completion
@@ -196,6 +208,11 @@ class QueuePair:
         wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
         when = self._schedule(wire, self._model.rdma_read_base)
         self._stats.record(when, total, "read")
+        if self.tracer.enabled:
+            self.tracer.complete("net.read", "net", self._clock.now,
+                                 when - self._clock.now,
+                                 {"qp": self.name, "bytes": total,
+                                  "segments": len(segments)})
         completion = Completion(when, "read", total, payload)
         self._register(completion, on_complete)
         return completion
@@ -215,6 +232,11 @@ class QueuePair:
         wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
         when = self._schedule(wire, self._model.rdma_write_base)
         self._stats.record(when, total, "write")
+        if self.tracer.enabled:
+            self.tracer.complete("net.write", "net", self._clock.now,
+                                 when - self._clock.now,
+                                 {"qp": self.name, "bytes": total,
+                                  "segments": len(segments)})
         completion = Completion(when, "write", total, None)
         self._register(completion, on_complete)
         return completion

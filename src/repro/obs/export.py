@@ -1,0 +1,169 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+The Chrome form is the JSON Object Format (``{"traceEvents": [...]}``)
+with timestamps already in microseconds — the simulator's native unit —
+so a trace drops straight into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` with no scaling. Each event category gets its own
+``tid`` (named via ``thread_name`` metadata events), which renders each
+subsystem — fault path, prefetch, reclaim, net — as its own track even
+though the simulation is single-threaded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.tracer import TraceRecord
+
+#: pid stamped on every event; the simulation is one "process".
+TRACE_PID = 1
+
+
+def _records(events: Iterable) -> List[TraceRecord]:
+    return list(events.events() if hasattr(events, "events") else events)
+
+
+def to_jsonl(events: Iterable) -> str:
+    """One JSON object per line, oldest event first."""
+    records = _records(events)
+    return "\n".join(json.dumps(r.as_dict(), sort_keys=True)
+                     for r in records) + ("\n" if records else "")
+
+
+def write_jsonl(events: Iterable, path) -> int:
+    """Write JSONL to ``path``; returns the number of events written."""
+    records = _records(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(records))
+    return len(records)
+
+
+def chrome_trace(events: Iterable,
+                 process_name: str = "repro") -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` JSON object from trace records.
+
+    Accepts a :class:`~repro.obs.tracer.Tracer` or any iterable of
+    :class:`TraceRecord`. Events are sorted by start timestamp (spans are
+    buffered at exit, so an enclosing span can trail its children);
+    categories are assigned stable ``tid``s in first-seen order.
+    """
+    records = _records(events)
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    body: List[Dict[str, Any]] = []
+    for record in records:
+        tid = tids.get(record.cat)
+        if tid is None:
+            tid = tids[record.cat] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                "tid": tid, "args": {"name": record.cat},
+            })
+        event = record.as_dict()
+        event["pid"] = TRACE_PID
+        event["tid"] = tid
+        if record.ph == "i":
+            event["s"] = "t"  # instant scope: thread
+        body.append(event)
+    # Spans are emitted at *exit*, so an enclosing span lands in the buffer
+    # after its children (e.g. reclaim.direct after the cleaner-tick spans
+    # its clock advance triggered). Sort by start time, longest-first at
+    # ties, which both restores per-tid monotonicity and puts parents
+    # before children the way trace viewers expect.
+    body.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    trace_events.extend(body)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable, path,
+                       process_name: str = "repro") -> Dict[str, Any]:
+    """Export, validate, and write Chrome-format JSON to ``path``."""
+    doc = chrome_trace(events, process_name=process_name)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: Union[Dict[str, Any], str]) -> Dict[str, Any]:
+    """Check a Chrome-format trace document; raise ``ValueError`` if bad.
+
+    Validates the object shape, per-event required fields, phase-specific
+    fields (``dur`` on ``X`` events), and that timestamps are
+    non-decreasing per tid (the simulated clock is monotonic, so a
+    violation means an exporter or instrumentation bug).
+    """
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace must be an object with a 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    last_ts: Dict[int, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}] missing {key!r}")
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        if ph not in ("X", "i"):
+            raise ValueError(f"traceEvents[{i}] has unsupported ph {ph!r}")
+        if "ts" not in event:
+            raise ValueError(f"traceEvents[{i}] missing 'ts'")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{i}] ts {ts!r} is not a "
+                             "non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] complete event needs a "
+                                 f"non-negative 'dur', got {dur!r}")
+        tid = event["tid"]
+        if ts < last_ts.get(tid, 0.0):
+            raise ValueError(
+                f"traceEvents[{i}] ts {ts} goes backwards on tid {tid} "
+                f"(last was {last_ts[tid]})")
+        last_ts[tid] = ts
+    return doc
+
+
+def fault_breakdown_from_spans(events: Iterable,
+                               name: str = "fault.major") -> Dict[str, Any]:
+    """Reconstruct the Fig.-6 fault-latency breakdown from trace spans.
+
+    Averages the per-component latencies attached to each ``name`` span's
+    ``args["components"]`` and cross-checks them against span durations.
+    Returns ``{"count", "avg_total_us", "components": {...},
+    "span_total_us", "component_total_us"}`` — the last two are the sums
+    over all spans of span duration vs. component latencies, which the
+    E-F6 regression test requires to agree within 5 %.
+    """
+    spans = [r for r in _records(events) if r.ph == "X" and r.name == name]
+    count = len(spans)
+    totals: Dict[str, float] = {}
+    span_total = 0.0
+    for span in spans:
+        span_total += span.dur
+        for component, us in span.args.get("components", {}).items():
+            totals[component] = totals.get(component, 0.0) + us
+    component_total = sum(totals.values())
+    return {
+        "count": count,
+        "avg_total_us": span_total / count if count else 0.0,
+        "components": {c: t / count for c, t in totals.items()} if count
+                      else {},
+        "span_total_us": span_total,
+        "component_total_us": component_total,
+    }

@@ -1,0 +1,119 @@
+"""The canonical metric namespace and the per-kernel legacy alias tables.
+
+Canonical names are dotted and lowercase (``fault.major``,
+``net.bytes_read``). Shared concepts use *identical* keys on every kernel:
+a DiLOS major fault, a Fastswap major fault, and an AIFM object miss all
+land on ``fault.major``, so cross-system tables and dashboards never need
+per-kernel key translation. The alias tables map each kernel's historical
+flat names onto the canonical set; ``MetricsSnapshot.as_flat_dict`` emits
+both spellings so pre-existing benchmarks keep working.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def validate_name(name: str) -> str:
+    """Return ``name`` if it is a valid canonical dotted metric name.
+
+    Valid names have at least two dot-separated segments, each starting
+    with a lowercase letter and containing only ``[a-z0-9_]``.
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid canonical metric name {name!r}: expected dotted "
+            "lowercase segments like 'fault.major'")
+    return name
+
+
+#: Canonical keys every kernel must register, even when the value stays 0.
+#: This is the cross-kernel contract the harness and reports rely on.
+SHARED_KEYS = frozenset({
+    "fault.major",
+    "fault.minor",
+    "prefetch.issued",
+    "net.bytes_read",
+    "net.bytes_written",
+    "reclaim.pages_evicted",
+})
+
+#: DiLOS kernel + page manager: legacy flat name -> canonical name.
+DILOS_ALIASES: Dict[str, str] = {
+    "major_faults": "fault.major",
+    "minor_faults": "fault.minor",
+    "first_touch_faults": "fault.first_touch",
+    "first_touch_inline_reclaims": "fault.first_touch_inline_reclaims",
+    "resolved_during_exception": "fault.resolved_during_exception",
+    "prefetches_issued": "prefetch.issued",
+    "prefetch_skipped_no_frames": "prefetch.skipped_no_frames",
+    "prefetch_hit_ratio": "prefetch.hit_ratio",
+    "guide_handled_faults": "guide.handled_faults",
+    "guide_subpage_fetches": "guide.subpage_fetches",
+    "action_fetches": "guide.action_fetches",
+    "swap_cache_installs": "swapcache.installs",
+    "fetch_node_failures": "net.fetch_node_failures",
+    "fetches_dropped": "net.fetches_dropped",
+    "writeback_node_failures": "net.writeback_node_failures",
+    "net_bytes_read": "net.bytes_read",
+    "net_bytes_written": "net.bytes_written",
+    "direct_reclaims": "reclaim.direct",
+    "direct_reclaimed_pages": "reclaim.direct_reclaimed_pages",
+    "pages_evicted": "reclaim.pages_evicted",
+    "pages_cleaned": "reclaim.pages_cleaned",
+    "cleaned_full_pages": "reclaim.cleaned_full_pages",
+    "cleaned_guided_pages": "reclaim.cleaned_guided_pages",
+    "cleaned_empty_pages": "reclaim.cleaned_empty_pages",
+    "madvise_willneed_pages": "madvise.willneed_pages",
+    "madvise_dontneed_pages": "madvise.dontneed_pages",
+    "tlb_hits": "tlb.hits",
+    "tlb_misses": "tlb.misses",
+    "checkpoints": "migration.checkpoints",
+    "restored_pages": "migration.restored_pages",
+}
+
+#: Fastswap kernel: legacy flat name -> canonical name. Note the drift
+#: fixes: ``readahead_issued`` and DiLOS' ``prefetches_issued`` were two
+#: spellings of the same concept; both now land on ``prefetch.issued``,
+#: and frontswap ``writebacks`` are ``reclaim.pages_cleaned``.
+FASTSWAP_ALIASES: Dict[str, str] = {
+    "major_faults": "fault.major",
+    "minor_faults": "fault.minor",
+    "first_touch_faults": "fault.first_touch",
+    "spurious_faults": "fault.spurious",
+    "prefetches_issued": "prefetch.issued",
+    "readahead_issued": "prefetch.issued",
+    "readahead_skipped_no_frames": "prefetch.skipped_no_frames",
+    "fetch_node_failures": "net.fetch_node_failures",
+    "writeback_node_failures": "net.writeback_node_failures",
+    "net_bytes_read": "net.bytes_read",
+    "net_bytes_written": "net.bytes_written",
+    "direct_reclaims": "reclaim.direct",
+    "pages_evicted": "reclaim.pages_evicted",
+    "pages_cleaned": "reclaim.pages_cleaned",
+    "writebacks": "reclaim.pages_cleaned",
+    "kswapd_runs": "reclaim.kswapd_runs",
+    "swapcache_reclaimed": "swapcache.reclaimed",
+    "swap_cache_size": "swapcache.size",
+    "tlb_hits": "tlb.hits",
+    "tlb_misses": "tlb.misses",
+}
+
+#: AIFM runtime: legacy flat name -> canonical name. An object miss is
+#: AIFM's major fault; evacuation is its eviction; evacuation write-backs
+#: are its page cleaning.
+AIFM_ALIASES: Dict[str, str] = {
+    "derefs": "deref.total",
+    "object_misses": "fault.major",
+    "prefetches_issued": "prefetch.issued",
+    "objects_evacuated": "reclaim.pages_evicted",
+    "evacuation_writebacks": "reclaim.pages_cleaned",
+    "objects_allocated": "heap.objects_allocated",
+    "objects_freed": "heap.objects_freed",
+    "heap_used": "heap.bytes_used",
+    "net_bytes_read": "net.bytes_read",
+    "net_bytes_written": "net.bytes_written",
+}

@@ -1,0 +1,290 @@
+"""The typed metrics registry all kernels report through.
+
+Four instrument kinds, all registered under canonical dotted names
+(:mod:`repro.obs.names`):
+
+* :class:`Counter` — monotonically increasing scalar (``fault.major``);
+* :class:`Gauge` — point-in-time value, usually bound to a callable
+  (``net.bytes_read`` reads the fabric's byte accounting at snapshot time);
+* :class:`Histogram` — raw samples with percentiles (``fault.minor_wait_us``);
+* :class:`LatencyBreakdown` — per-component fault-latency accumulation
+  (``fault.breakdown``, the Figure 1/6 data).
+
+``registry.snapshot(...)`` freezes everything into a
+:class:`~repro.obs.snapshot.MetricsSnapshot`. :class:`LegacyCounters` is a
+drop-in view with the old ``Counter.add(raw_name)`` surface, so code and
+tests written against a kernel's historical flat counter names keep
+working while the storage is canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.common import stats as _stats
+from repro.obs.names import validate_name
+from repro.obs.snapshot import MetricsSnapshot
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class Counter:
+    """A single monotonically increasing counter instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or bound to a callable
+    that is evaluated lazily at snapshot time (zero steady-state cost)."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str,
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram(_stats.Histogram):
+    """A named histogram instrument (raw samples + percentiles)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/min/max/p50/p99 for snapshots; empty dict if empty."""
+        if not self.count:
+            return {}
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "min": self.min(),
+            "max": self.max(),
+            "p50": self.pct(50),
+            "p99": self.pct(99),
+        }
+
+
+class LatencyBreakdown(_stats.LatencyBreakdown):
+    """A named per-component latency breakdown instrument."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+
+Instrument = Union[Counter, Gauge, Histogram, LatencyBreakdown]
+
+
+class MetricsRegistry:
+    """Canonical-namespaced home of every instrument of one system.
+
+    Instruments are created on first request and shared thereafter;
+    requesting an existing name with a different instrument kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def _register(self, name: str, kind) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(validate_name(name))
+            self._instruments[name] = inst
+        elif type(inst) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter)
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._register(name, Gauge)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._register(name, Histogram)
+
+    def breakdown(self, name: str) -> LatencyBreakdown:
+        return self._register(name, LatencyBreakdown)
+
+    # -- shorthands ----------------------------------------------------------
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``, creating it on first use."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.counter(name)
+        inst.add(amount)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge; 0 when unregistered."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            return 0
+        if isinstance(inst, (Counter, Gauge)):
+            return inst.value
+        raise TypeError(f"metric {name!r} is a {type(inst).__name__}, "
+                        "not a scalar instrument")
+
+    def names(self):
+        """All registered canonical names, sorted."""
+        return sorted(self._instruments)
+
+    # -- legacy aliasing -----------------------------------------------------
+
+    def alias(self, legacy: str, canonical: str) -> None:
+        """Map a legacy flat name onto a canonical one (for flat views)."""
+        existing = self._aliases.get(legacy)
+        if existing is not None and existing != canonical:
+            raise ValueError(f"alias {legacy!r} already maps to {existing!r}")
+        self._aliases[legacy] = validate_name(canonical)
+
+    def register_aliases(self, table: Mapping[str, str]) -> None:
+        for legacy, canonical in table.items():
+            self.alias(legacy, canonical)
+
+    @property
+    def aliases(self) -> Dict[str, str]:
+        return dict(self._aliases)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero counters, clear histograms and breakdowns. Gauges are
+        live views and are left untouched."""
+        for inst in self._instruments.values():
+            if not isinstance(inst, Gauge):
+                inst.reset()
+
+    def snapshot(self, system: str = "", time_us: float = 0.0) -> MetricsSnapshot:
+        """Freeze every instrument into a typed snapshot."""
+        counters: Dict[str, float] = {}
+        raw_counters: Dict[str, int] = {}
+        breakdowns: Dict[str, Dict[str, float]] = {}
+        breakdown_counts: Dict[str, int] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                counters[name] = inst.value
+            elif isinstance(inst, Histogram):
+                histograms[name] = inst.summary()
+            else:
+                breakdowns[name] = inst.averages()
+                breakdown_counts[name] = inst.fault_count
+        counter_names = {n for n, i in self._instruments.items()
+                         if isinstance(i, Counter)}
+        for legacy, canonical in self._aliases.items():
+            if canonical in counter_names:
+                raw_counters[legacy] = int(counters[canonical])
+        return MetricsSnapshot(
+            system=system, time_us=time_us, counters=counters,
+            breakdowns=breakdowns, breakdown_counts=breakdown_counts,
+            histograms=histograms, aliases=dict(self._aliases),
+            raw_counters=raw_counters)
+
+
+class LegacyCounters:
+    """The old per-kernel ``Counter`` bag surface over a registry.
+
+    ``add``/``get`` translate historical flat names through the kernel's
+    alias table; unknown names are auto-namespaced under ``misc.`` so
+    third-party code can still mint ad-hoc counters.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 namespace: str = "misc") -> None:
+        self._registry = registry
+        self._namespace = namespace
+
+    def _canonical(self, raw: str) -> str:
+        canonical = self._registry._aliases.get(raw)
+        if canonical is None:
+            canonical = f"{self._namespace}.{raw}"
+            self._registry.alias(raw, canonical)
+        return canonical
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._registry.add(self._canonical(name), amount)
+
+    def get(self, name: str) -> int:
+        return int(self._registry.value(self._canonical(name)))
+
+    def as_dict(self) -> Dict[str, int]:
+        registry = self._registry
+        out = {}
+        for raw, canonical in registry._aliases.items():
+            inst = registry._instruments.get(canonical)
+            if isinstance(inst, Counter):
+                out[raw] = inst.value
+        return out
+
+    def reset(self) -> None:
+        self._registry.reset()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+        return f"LegacyCounters({inner})"
+
+
+@dataclass
+class Observability:
+    """The injectable observability bundle: one registry + one tracer.
+
+    Every system owns one (``system.obs``); pass your own to
+    ``make_system(..., obs=...)`` or a system constructor to share a
+    registry across systems or to turn tracing on.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+    @classmethod
+    def default(cls) -> "Observability":
+        """Fresh registry, tracing disabled (the zero-overhead default)."""
+        return cls(registry=MetricsRegistry(), tracer=NULL_TRACER)
+
+    @classmethod
+    def tracing(cls, capacity: int = 65536) -> "Observability":
+        """Fresh registry with an enabled ring-buffered tracer."""
+        return cls(registry=MetricsRegistry(),
+                   tracer=Tracer(capacity=capacity, enabled=True))

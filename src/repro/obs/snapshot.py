@@ -1,0 +1,111 @@
+"""Typed, frozen view of a :class:`~repro.obs.registry.MetricsRegistry`.
+
+``MetricsSnapshot`` is the return type of ``BaseSystem.metrics()``. It is
+a dataclass for typed consumers and simultaneously a ``Mapping`` over its
+flat view, because the pre-existing surface treats ``metrics()`` as a
+plain dict: benchmarks subscript it, ``Trace.replay`` and ``LibOS``
+assign new keys into it, and reports iterate ``.items()``. Assignment
+lands in :attr:`extra` so the registry data stays immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping
+
+# Keys historically emitted as plain gauges (not integer counters) whose
+# flat spelling must not be re-emitted under ``counter.<name>``.
+_GAUGE_FLAT_KEYS = ("prefetch_hit_ratio", "swap_cache_size", "heap_used")
+
+
+@dataclass
+class MetricsSnapshot(Mapping):
+    """One system's metrics at one simulated instant.
+
+    Attributes:
+        system: system name (``"dilos"``, ``"fastswap"``, ``"aifm"``).
+        time_us: simulated clock time when the snapshot was taken.
+        counters: canonical name -> counter/gauge value.
+        breakdowns: canonical name -> per-component average latency (µs).
+        breakdown_counts: canonical name -> number of recorded samples.
+        histograms: canonical name -> summary stats (count/mean/p50/...).
+        aliases: legacy flat name -> canonical name (this kernel's table).
+        raw_counters: legacy flat name -> value, for old consumers.
+        extra: mutable overflow bag; ``snapshot[key] = value`` writes here.
+    """
+
+    system: str = ""
+    time_us: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    breakdown_counts: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+    raw_counters: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # -- typed accessors -----------------------------------------------------
+
+    def value(self, canonical: str, default: float = 0) -> float:
+        """Counter/gauge value under its canonical name."""
+        return self.counters.get(canonical, default)
+
+    # -- flat compatibility view ---------------------------------------------
+
+    def as_flat_dict(self) -> Dict[str, Any]:
+        """The historical flat-dict form of ``metrics()``.
+
+        Emits ``system``/``time_us`` metadata, every canonical counter and
+        gauge, every legacy spelling (``major_faults`` next to
+        ``fault.major``), the old ``counter.<raw>`` entries, and ``extra``.
+        Later sources win, so an ``extra`` assignment can shadow anything.
+        """
+        flat: Dict[str, Any] = {"system": self.system, "time_us": self.time_us}
+        flat.update(self.counters)
+        for legacy, canonical in self.aliases.items():
+            if canonical in self.counters:
+                flat[legacy] = self.counters[canonical]
+        for raw, value in self.raw_counters.items():
+            if raw not in _GAUGE_FLAT_KEYS:
+                flat[f"counter.{raw}"] = value
+        for name, components in self.breakdowns.items():
+            for component, avg_us in components.items():
+                flat[f"{name}.avg_{component}_us"] = avg_us
+        for name, summary in self.histograms.items():
+            for stat, value in summary.items():
+                flat[f"{name}.{stat}"] = value
+        flat.update(self.extra)
+        return flat
+
+    # -- Mapping protocol (over the flat view) -------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.extra:
+            return self.extra[key]
+        flat = self.as_flat_dict()
+        return flat[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.extra[key] = value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_flat_dict())
+
+    def __len__(self) -> int:
+        return len(self.as_flat_dict())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.as_flat_dict()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        flat = self.as_flat_dict()
+        return flat.get(key, default)
+
+    def keys(self):
+        return self.as_flat_dict().keys()
+
+    def values(self):
+        return self.as_flat_dict().values()
+
+    def items(self):
+        return self.as_flat_dict().items()

@@ -1,0 +1,128 @@
+"""Cross-kernel telemetry contract: every kernel reports through a
+:class:`~repro.obs.MetricsRegistry` and the shared concepts land on
+*identical* canonical keys — a DiLOS major fault, a Fastswap major fault,
+and an AIFM object miss are all ``fault.major``. This is what lets the
+harness build cross-system tables without per-kernel key translation
+(the metric-name drift the unified API fixed)."""
+
+import pytest
+
+from repro.common.units import KIB, MIB, PAGE_SIZE
+from repro.baselines.aifm import AifmConfig, AifmRuntime
+from repro.baselines.fastswap import FastswapConfig, FastswapSystem
+from repro.core import DilosConfig, DilosSystem
+from repro.obs import SHARED_KEYS, MetricsRegistry, MetricsSnapshot
+from repro.harness import make_system
+
+
+def exercised_dilos():
+    system = DilosSystem(DilosConfig(local_mem_bytes=1 * MIB,
+                                     remote_mem_bytes=64 * MIB))
+    region = system.mmap(4 * MIB)
+    for i in range(region.size // PAGE_SIZE):
+        system.memory.write(region.base + i * PAGE_SIZE, b"d")
+    system.memory.read(region.base, 64)
+    return system
+
+
+def exercised_fastswap():
+    system = FastswapSystem(FastswapConfig(local_mem_bytes=1 * MIB,
+                                           remote_mem_bytes=64 * MIB))
+    region = system.mmap(4 * MIB)
+    for i in range(region.size // PAGE_SIZE):
+        system.memory.write(region.base + i * PAGE_SIZE, b"f")
+    system.memory.read(region.base, 64)
+    return system
+
+
+def exercised_aifm():
+    runtime = AifmRuntime(AifmConfig(local_heap_bytes=256 * KIB,
+                                     remote_mem_bytes=64 * MIB))
+    ptrs = [runtime.allocate(16 * KIB, data=b"a" * 16) for _ in range(32)]
+    for ptr in ptrs:
+        ptr.read(0, 16)
+    return runtime
+
+
+ALL_KERNELS = [exercised_dilos, exercised_fastswap, exercised_aifm]
+
+
+class TestSharedKeyContract:
+    @pytest.mark.parametrize("build", ALL_KERNELS,
+                             ids=["dilos", "fastswap", "aifm"])
+    def test_shared_keys_present(self, build):
+        snap = build().metrics()
+        assert isinstance(snap, MetricsSnapshot)
+        missing = SHARED_KEYS - set(snap.counters)
+        assert not missing, f"missing canonical keys: {sorted(missing)}"
+
+    @pytest.mark.parametrize("build", ALL_KERNELS,
+                             ids=["dilos", "fastswap", "aifm"])
+    def test_kernel_reports_through_registry(self, build):
+        system = build()
+        assert isinstance(system.obs.registry, MetricsRegistry)
+        assert system.metrics().counters["fault.major"] > 0
+
+    def test_major_fault_key_identical_across_kernels(self):
+        # The drift fix: one canonical spelling, three kernels — each
+        # kernel's historical name (major_faults, object_misses) aliases
+        # onto it.
+        for build in ALL_KERNELS:
+            snap = build().metrics()
+            legacy_names = [legacy for legacy, canonical
+                            in snap.aliases.items()
+                            if canonical == "fault.major"]
+            assert legacy_names
+            for legacy in legacy_names:
+                assert snap[legacy] == snap.counters["fault.major"]
+
+    def test_prefetch_issued_unified(self):
+        # Fastswap's readahead_issued and DiLOS/AIFM's prefetches_issued
+        # all map onto prefetch.issued.
+        fs = exercised_fastswap().metrics()
+        assert fs["readahead_issued"] == fs.counters["prefetch.issued"]
+        assert fs["prefetches_issued"] == fs.counters["prefetch.issued"]
+        dl = exercised_dilos().metrics()
+        assert dl["prefetches_issued"] == dl.counters["prefetch.issued"]
+
+    def test_eviction_unified(self):
+        # AIFM evacuation counts as reclaim.pages_evicted, like paging
+        # kernels' evictions; Fastswap frontswap writebacks land on
+        # reclaim.pages_cleaned.
+        aifm = exercised_aifm().metrics()
+        assert aifm["objects_evacuated"] == \
+            aifm.counters["reclaim.pages_evicted"]
+        fs = exercised_fastswap().metrics()
+        assert fs["writebacks"] == fs.counters["reclaim.pages_cleaned"]
+
+    def test_legacy_flat_values_match_canonical(self):
+        for build, name in zip(ALL_KERNELS, ["dilos", "fastswap", "aifm"]):
+            snap = build().metrics()
+            flat = snap.as_flat_dict()
+            for legacy, canonical in snap.aliases.items():
+                if canonical in snap.counters:
+                    assert flat[legacy] == snap.counters[canonical], \
+                        f"{name}: {legacy} != {canonical}"
+
+    def test_net_bytes_flow_on_all_kernels(self):
+        for build in ALL_KERNELS:
+            snap = build().metrics()
+            assert snap.counters["net.bytes_read"] > 0
+
+
+class TestMakeSystemObs:
+    @pytest.mark.parametrize("kind", ["fastswap", "dilos-readahead", "aifm"])
+    def test_obs_injected(self, kind):
+        from repro.obs import Observability
+        obs = Observability.tracing(capacity=128)
+        system = make_system(kind, local_bytes=1 * MIB)
+        assert system.obs is not None
+        traced = make_system(kind, local_bytes=1 * MIB, obs=obs)
+        assert traced.obs is obs
+        assert traced.obs.tracer.enabled
+
+    def test_default_obs_is_fresh_per_system(self):
+        a = make_system("dilos-readahead", local_bytes=1 * MIB)
+        b = make_system("dilos-readahead", local_bytes=1 * MIB)
+        assert a.obs is not b.obs
+        assert a.obs.registry is not b.obs.registry

@@ -1,0 +1,18 @@
+"""Wire ``scripts/trace_smoke.py`` into the suite: the user-facing
+trace-and-export path must work end to end, exactly as documented."""
+
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def test_trace_smoke(tmp_path):
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import trace_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert trace_smoke.main(tmp_path) == 0
+    assert (tmp_path / "trace.json").exists()
+    assert (tmp_path / "trace.jsonl").exists()
