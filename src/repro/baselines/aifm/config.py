@@ -26,6 +26,13 @@ class AifmConfig:
     prefetch_depth: int = 8
     #: Fraction of the heap evacuated per evacuation round.
     evacuation_batch_frac: float = 0.05
+    #: Network fault injection (``None`` = perfect wire): a
+    #: :class:`repro.net.FaultPlan` or spec string; routes all object IO
+    #: through the reliable transport.
+    net_faults: object = None
+    #: Retry policy override (:class:`repro.net.RetryPolicy`) for the
+    #: reliable transport; only used when ``net_faults`` is set.
+    net_retry: object = None
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def validate(self) -> None:

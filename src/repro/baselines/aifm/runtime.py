@@ -21,8 +21,10 @@ from typing import Dict, Optional
 from repro.common.clock import Clock
 from repro.common.errors import OutOfMemoryError
 from repro.baselines.aifm.config import AifmConfig
-from repro.mem.remote import MemoryNode
+from repro.mem.remote import MemoryNode, NodeFailedError
+from repro.net.faults import FaultPlan
 from repro.net.qp import Completion, NetStats, QueuePair
+from repro.net.reliable import ReliableQP
 from repro.obs import (
     AIFM_ALIASES,
     LegacyCounters,
@@ -102,19 +104,27 @@ class AifmRuntime:
                             lambda: self.stats.bytes_written)
         self.registry.gauge("heap.bytes_used", lambda: self.heap_used)
         extra = self.model.tcp_extra if self.config.transport == "tcp" else 0.0
+        plan = FaultPlan.coerce(self.config.net_faults)
+
+        def connection(name: str):
+            raw = QueuePair(name, self.clock, self.model, self.node,
+                            self.stats, extra_completion_delay=extra,
+                            tracer=self.tracer)
+            if plan is None:
+                return raw
+            alt = QueuePair(f"{name}.alt", self.clock, self.model, self.node,
+                            self.stats, extra_completion_delay=extra,
+                            tracer=self.tracer)
+            return ReliableQP(name, self.clock, self.model, self.node,
+                              qps=[raw, alt], plan=plan,
+                              policy=self.config.net_retry,
+                              registry=self.registry, tracer=self.tracer)
+
         #: Demand fetches and streaming prefetches ride separate connections
         #: (AIFM's prefetcher threads own their own sockets).
-        self._qp = QueuePair("aifm-app", self.clock, self.model, self.node,
-                             self.stats, extra_completion_delay=extra,
-                             tracer=self.tracer)
-        self._prefetch_qp = QueuePair("aifm-prefetch", self.clock, self.model,
-                                      self.node, self.stats,
-                                      extra_completion_delay=extra,
-                                      tracer=self.tracer)
-        self._evac_qp = QueuePair("aifm-evac", self.clock, self.model,
-                                  self.node, self.stats,
-                                  extra_completion_delay=extra,
-                                  tracer=self.tracer)
+        self._qp = connection("aifm-app")
+        self._prefetch_qp = connection("aifm-prefetch")
+        self._evac_qp = connection("aifm-evac")
         self._objects: Dict[int, _Object] = {}
         self._lru: "OrderedDict[int, None]" = OrderedDict()
         self._next_oid = 1
@@ -173,7 +183,18 @@ class AifmRuntime:
             self._fetch(obj)
         elif obj.inflight is not None:
             # A prefetch is in flight; wait out the remainder (usually 0).
-            self.clock.advance_to(obj.inflight.time)
+            inflight = obj.inflight
+            try:
+                self._prefetch_qp.wait(inflight)
+            except NodeFailedError:
+                # The node died with the prefetch in flight: the reserved
+                # buffer never got its bytes. Drop the reservation so the
+                # object is cleanly remote again.
+                obj.local = None
+                obj.inflight = None
+                self.heap_used -= obj.size
+                self.registry.add("net.fetch_node_failures")
+                raise
             obj.inflight = None
         self._lru[oid] = None
         self._lru.move_to_end(oid)
@@ -204,7 +225,11 @@ class AifmRuntime:
         self.clock.advance(self.model.aifm_object_fetch_sw)
         completion = self._qp.post_read(obj.remote_off, obj.size)
         self.registry.add("fault.major")
-        self.clock.advance_to(completion.time)
+        try:
+            self._qp.wait(completion)
+        except NodeFailedError:
+            self.registry.add("net.fetch_node_failures")
+            raise
         if self.tracer.enabled:
             self.tracer.complete("fault.major", "fault", fetch_start,
                                  self.clock.now - fetch_start,
@@ -234,6 +259,8 @@ class AifmRuntime:
         data_target = obj
 
         def install(c: Completion) -> None:
+            if c.failed:
+                return  # the response was lost; _resolve cleans up
             if data_target.local is not None:
                 data_target.local[:] = c.data
             data_target.inflight = None

@@ -34,6 +34,13 @@ class FastswapConfig:
     #: Average LRU pages scanned per page actually evicted (second chances,
     #: referenced pages, isolation failures).
     scan_per_evict: float = 2.0
+    #: Network fault injection (``None`` = perfect wire): a
+    #: :class:`repro.net.FaultPlan` or spec string; routes all swap IO
+    #: through the reliable transport.
+    net_faults: object = None
+    #: Retry policy override (:class:`repro.net.RetryPolicy`) for the
+    #: reliable transport; only used when ``net_faults`` is set.
+    net_retry: object = None
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def validate(self) -> None:

@@ -30,7 +30,9 @@ from repro.mem.addrspace import AddressSpace, Region
 from repro.mem.frames import FramePool
 from repro.mem.remote import MemoryNode, NodeFailedError
 from repro.mem.vm import VirtualMemory
+from repro.net.faults import FaultPlan
 from repro.net.qp import NetStats, QueuePair
+from repro.net.reliable import ReliableQP
 from repro.obs import (
     FASTSWAP_ALIASES,
     LegacyCounters,
@@ -78,8 +80,19 @@ class FastswapKernel:
         #: Faults, readahead, and frontswap stores all share one swap IO
         #: queue — demand fetches queue behind readahead and write-backs
         #: (the head-of-line blocking DiLOS' comm module avoids, §4.5).
-        self.swap_qp = QueuePair("swap", clock, self.model, node, self.stats,
-                                 tracer=self.tracer)
+        plan = FaultPlan.coerce(config.net_faults)
+        if plan is None:
+            self.swap_qp = QueuePair("swap", clock, self.model, node,
+                                     self.stats, tracer=self.tracer)
+        else:
+            self.swap_qp = ReliableQP(
+                "swap", clock, self.model, node,
+                qps=[QueuePair("swap", clock, self.model, node, self.stats,
+                               tracer=self.tracer),
+                     QueuePair("swap.alt", clock, self.model, node,
+                               self.stats, tracer=self.tracer)],
+                plan=plan, policy=config.net_retry,
+                registry=self.registry, tracer=self.tracer)
         self.swap_cache = SwapCache()
         self._lru: "OrderedDict[int, None]" = OrderedDict()
         total = frames.total_frames
@@ -179,7 +192,13 @@ class FastswapKernel:
             self.registry.add("net.fetch_node_failures")
             raise
         self._readahead(vpn)
-        self.clock.advance_to(completion.time)
+        try:
+            self.swap_qp.wait(completion)
+        except NodeFailedError:
+            # The node died with our READ in flight: the response is lost.
+            self._frames.free(frame)
+            self.registry.add("net.fetch_node_failures")
+            raise
         components["fetch"] = self.clock.now - issue_time
 
         self._frames.data(frame)[:] = completion.data

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.common.units import MIB
 from repro.harness import SYSTEM_KINDS, format_table, local_bytes_for, make_system
+from repro.net.faults import FaultPlan
 from repro.alloc import Mimalloc
 from repro.apps.dataframe import TaxiAnalyticsWorkload
 from repro.apps.gapbs import (
@@ -52,8 +53,17 @@ def _print_metrics(headline: str, metrics: Dict) -> None:
     print(format_table("paging counters", ["counter", "value"], rows))
 
 
+def _fault_plan(spec: str) -> FaultPlan:
+    """argparse type for --net-faults: parse errors exit 2 cleanly."""
+    try:
+        return FaultPlan.from_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _boot(args, footprint: int):
-    return make_system(args.system, local_bytes_for(footprint, args.ratio))
+    return make_system(args.system, local_bytes_for(footprint, args.ratio),
+                       net_faults=getattr(args, "net_faults", None))
 
 
 def cmd_trace(args) -> int:
@@ -85,7 +95,7 @@ def cmd_trace(args) -> int:
     obs = Observability.tracing(capacity=args.capacity)
     system = make_system(
         args.system, local_bytes_for(workload.footprint_bytes, args.ratio),
-        obs=obs)
+        obs=obs, net_faults=getattr(args, "net_faults", None))
     if args.workload == "seqrw":
         workload.run(system, args.mode, verify=(args.mode == "read"))
     elif args.system.startswith("aifm"):
@@ -273,7 +283,8 @@ def _redis_server(args, footprint: int):
         print("error: --app-aware requires a DiLOS system", file=sys.stderr)
         return None
     system = make_system(args.system, local_bytes_for(footprint, args.ratio),
-                         remote_bytes=512 * MIB)
+                         remote_bytes=512 * MIB,
+                         net_faults=getattr(args, "net_faults", None))
     return RedisServer(system, Mimalloc(system, arena_bytes=256 * MIB),
                        guide=guide)
 
@@ -323,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=SYSTEM_KINDS)
         p.add_argument("--ratio", type=float, default=0.125,
                        help="local memory as a fraction of the working set")
+        p.add_argument("--net-faults", default=None, metavar="SPEC",
+                       type=_fault_plan,
+                       help="inject network faults and route IO through the "
+                            "reliable transport; SPEC like "
+                            "'drop=0.01,corrupt=0.005,seed=7' "
+                            "(see docs/RELIABILITY.md)")
 
     sub.add_parser("systems", help="list system keys").set_defaults(
         func=cmd_systems)

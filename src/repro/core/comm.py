@@ -12,11 +12,13 @@ measure exactly the blocking the design avoids.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.clock import Clock
+from repro.net.faults import FaultPlan, RetryPolicy
 from repro.net.latency import LatencyModel
 from repro.net.qp import NetStats, QueuePair
+from repro.net.reliable import ReliableQP
 from repro.obs.tracer import NULL_TRACER
 
 #: The paging modules that own queues (plus one per app-aware guide).
@@ -35,6 +37,9 @@ class CommModule:
         shared_single_qp: bool = False,
         extra_completion_delay: float = 0.0,
         tracer=NULL_TRACER,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        registry=None,
     ) -> None:
         self._clock = clock
         self._model = model
@@ -44,10 +49,33 @@ class CommModule:
         self._extra_delay = extra_completion_delay
         self.tracer = tracer
         self.stats = NetStats()
-        self._qps: Dict[Tuple[str, int], QueuePair] = {}
+        #: When set, every module queue is a ReliableQP (primary + one
+        #: sibling for failover) riding this fault plan.
+        self.fault_plan = FaultPlan.coerce(fault_plan)
+        self._retry = RetryPolicy.coerce(retry) if (
+            retry is not None or self.fault_plan is not None) else None
+        self._registry = registry
+        self._qps: Dict[Tuple[str, int], object] = {}
 
-    def qp(self, module: str, core: int = 0) -> QueuePair:
-        """The queue pair for ``module`` on ``core``."""
+    def _make_raw(self, name: str) -> QueuePair:
+        return QueuePair(
+            name=name,
+            clock=self._clock,
+            model=self._model,
+            remote=self._remote,
+            stats=self.stats,
+            extra_completion_delay=self._extra_delay,
+            tracer=self.tracer,
+        )
+
+    def qp(self, module: str, core: int = 0):
+        """The queue pair for ``module`` on ``core``.
+
+        With no fault plan this is a raw :class:`QueuePair` (the perfect
+        wire of the original model, byte-for-byte unchanged). With a
+        plan, it is a :class:`ReliableQP` over a primary and one sibling
+        QP so the transport has somewhere to fail over to.
+        """
         if module not in MODULES:
             raise ValueError(f"unknown paging module {module!r}")
         if not 0 <= core < self._cores:
@@ -55,15 +83,22 @@ class CommModule:
         key = ("shared", 0) if self._shared else (module, core)
         qp = self._qps.get(key)
         if qp is None:
-            qp = QueuePair(
-                name=f"{key[0]}@core{key[1]}",
-                clock=self._clock,
-                model=self._model,
-                remote=self._remote,
-                stats=self.stats,
-                extra_completion_delay=self._extra_delay,
-                tracer=self.tracer,
-            )
+            name = f"{key[0]}@core{key[1]}"
+            if self.fault_plan is None:
+                qp = self._make_raw(name)
+            else:
+                qp = ReliableQP(
+                    name=name,
+                    clock=self._clock,
+                    model=self._model,
+                    remote=self._remote,
+                    qps=[self._make_raw(name),
+                         self._make_raw(f"{name}.alt")],
+                    plan=self.fault_plan,
+                    policy=self._retry,
+                    registry=self._registry,
+                    tracer=self.tracer,
+                )
             self._qps[key] = qp
         return qp
 

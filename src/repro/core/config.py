@@ -51,6 +51,15 @@ class DilosConfig:
     direct_reclaim_only: bool = False
     #: Number of simulated cores (per-core QPs in the comm module).
     cores: int = 1
+    #: Network fault injection: ``None`` (perfect wire), a
+    #: :class:`repro.net.FaultPlan`, or a spec string such as
+    #: ``"drop=0.01,corrupt=0.005,seed=7"``. When set, all remote IO is
+    #: routed through the reliable transport (timeout/retry/failover).
+    net_faults: object = None
+    #: Retry policy for the reliable transport (``None`` = defaults);
+    #: a :class:`repro.net.RetryPolicy`. Only used when ``net_faults``
+    #: is set.
+    net_retry: object = None
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def validate(self) -> None:

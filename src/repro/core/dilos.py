@@ -105,6 +105,9 @@ class DilosKernel:
             extra_completion_delay=(self.model.tcp_extra
                                     if config.tcp_emulation else 0.0),
             tracer=self.tracer,
+            fault_plan=config.net_faults,
+            retry=config.net_retry,
+            registry=self.registry,
         )
         self.page_manager = PageManager(
             clock, config, self._pt, frames, addr_space, vm.tlb,
@@ -256,6 +259,16 @@ class DilosKernel:
             ready = self._fetch_ready.get(token, ready)
             clock.advance_to(ready)
             components["fetch"] = clock.now - issue_time
+            if self._pt.get(vpn) == pte_mod.make_fetching(token):
+                # The install never fired: the memory node died with the
+                # READ in flight (its completion was marked failed). Roll
+                # back so the fault can be retried or surfaced cleanly.
+                self._pt.set(vpn, entry)
+                self._frames.free(frame)
+                self._fetch_ready.pop(token, None)
+                self.registry.add("net.fetch_node_failures")
+                raise NodeFailedError(
+                    f"fetch of vpn {vpn} lost: memory node failed in flight")
 
         clock.advance(model.dilos_map)
         self.breakdown.record_fault(components)

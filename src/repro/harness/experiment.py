@@ -61,6 +61,12 @@ def make_system(kind: str, local_bytes: int,
     observability bundle — e.g. ``Observability.tracing()`` to record
     simulated-clock trace events — without per-kind constructor churn;
     the default is a fresh registry with tracing disabled.
+
+    Extra keyword arguments pass straight into the system's config
+    dataclass; notably ``net_faults`` (a :class:`repro.net.FaultPlan`
+    or a spec string such as ``"drop=0.01,corrupt=0.005,seed=7"``) and
+    ``net_retry`` route all remote IO through the reliable transport —
+    the same knob every kind understands.
     """
     if kind == "fastswap":
         return FastswapSystem(FastswapConfig(

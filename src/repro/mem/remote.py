@@ -12,7 +12,7 @@ table walk cost, which is folded into the fabric base latency.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.common.errors import OutOfMemoryError
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
@@ -35,12 +35,24 @@ class MemoryNode:
         self._free_slots: List[int] = list(range(total_slots - 1, -1, -1))
         self.total_slots = total_slots
         self._failed = False
+        self._failure_listeners: List[Callable[[], None]] = []
 
     # -- failure injection (for fault-tolerance experiments) ---------------
 
+    def add_failure_listener(self, listener: Callable[[], None]) -> None:
+        """Subscribe to node death. Queue pairs register here so that a
+        crash with verbs in flight is observed by the issuer (the
+        response is lost -> timeout/error), never silently absorbed."""
+        self._failure_listeners.append(listener)
+
     def fail(self) -> None:
-        """Simulate the node crashing: all subsequent IO raises."""
+        """Simulate the node crashing: all subsequent IO raises, and every
+        in-flight operation's response is lost (listeners are told)."""
+        already_down = self._failed
         self._failed = True
+        if not already_down:
+            for listener in self._failure_listeners:
+                listener()
 
     def recover(self) -> None:
         """Bring the node back (its memory content is as it was)."""

@@ -1,14 +1,30 @@
-"""Network substrate: the RDMA fabric model and its latency calibration."""
+"""Network substrate: the RDMA fabric model, fault injection, and the
+reliable transport layered on top of it."""
 
+from repro.net.faults import (
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    TransportError,
+    checksum,
+)
 from repro.net.latency import DEFAULT_LATENCY, LatencyModel, cycles_to_us, CPU_GHZ
 from repro.net.qp import Completion, NetStats, QueuePair
+from repro.net.reliable import RELIABILITY_METRICS, ReliableQP
 
 __all__ = [
     "CPU_GHZ",
     "Completion",
     "DEFAULT_LATENCY",
+    "Fault",
+    "FaultPlan",
     "LatencyModel",
     "NetStats",
     "QueuePair",
+    "RELIABILITY_METRICS",
+    "ReliableQP",
+    "RetryPolicy",
+    "TransportError",
+    "checksum",
     "cycles_to_us",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.clock import Clock
+from repro.mem.remote import NodeFailedError
 from repro.net.latency import LatencyModel
 from repro.obs.tracer import NULL_TRACER
 
@@ -80,7 +81,8 @@ class NetStats:
 class Completion:
     """Handle for an in-flight one-sided operation."""
 
-    __slots__ = ("time", "op", "size", "data", "cancelled")
+    __slots__ = ("time", "op", "size", "data", "cancelled", "failed",
+                 "retries")
 
     def __init__(self, time: float, op: str, size: int, data: Optional[bytes]) -> None:
         self.time = time
@@ -91,6 +93,11 @@ class Completion:
         #: Set by the issuer to drop a stale callback (e.g. a prefetch whose
         #: target page got unmapped before arrival).
         self.cancelled = False
+        #: Set when the remote node died with this op in flight: the
+        #: response is lost, ``wait`` raises, callbacks never fire.
+        self.failed = False
+        #: Transmission attempts beyond the first (reliable transport).
+        self.retries = 0
 
     def done(self, now: float) -> bool:
         return now >= self.time
@@ -126,13 +133,33 @@ class QueuePair:
         self.extra_completion_delay = extra_completion_delay
         self._wire_free = 0.0
         self.posted = 0
+        # In-flight tracking so a mid-flight node crash is *observed* by
+        # the issuer (a timeout/error), never silently absorbed. Only the
+        # plain single-node remote announces failures; redundant cluster
+        # backends mask member deaths themselves.
+        self._inflight: List[Completion] = []
+        subscribe = getattr(remote, "add_failure_listener", None)
+        self._listening = subscribe is not None
+        if self._listening:
+            subscribe(self._on_remote_failure)
 
     # -- internal ---------------------------------------------------------
 
-    def _schedule(self, wire_time: float, base: float) -> float:
-        """Advance the CPU past posting and return the completion time."""
-        self._clock.advance(self._model.rdma_post_overhead)
-        start = max(self._clock.now, self._wire_free)
+    def _schedule(self, wire_time: float, base: float,
+                  at: Optional[float] = None) -> float:
+        """Charge the wire for one transfer and return the completion time.
+
+        With ``at=None`` the post happens *now*: the CPU is advanced past
+        the doorbell/WQE overhead. A future ``at`` (reliable-transport
+        retries, scheduled ahead on the simulated clock) charges the same
+        posting overhead into the timeline without moving the clock.
+        """
+        if at is None:
+            self._clock.advance(self._model.rdma_post_overhead)
+            at = self._clock.now
+        else:
+            at += self._model.rdma_post_overhead
+        start = max(at, self._wire_free)
         wire_done = start + wire_time
         self._wire_free = wire_done
         self.posted += 1
@@ -140,14 +167,56 @@ class QueuePair:
 
     def _register(self, completion: Completion,
                   on_complete: Optional[Callable[[Completion], None]]) -> None:
+        self._track(completion)
         if on_complete is None:
             return
 
         def fire() -> None:
-            if not completion.cancelled:
+            if not completion.cancelled and not completion.failed:
                 on_complete(completion)
 
         self._clock.call_at(completion.time, fire)
+
+    def _track(self, completion: Completion) -> None:
+        if not self._listening:
+            return
+        now = self._clock.now
+        self._inflight = [c for c in self._inflight if c.time > now]
+        self._inflight.append(completion)
+
+    def _on_remote_failure(self) -> None:
+        """The remote node died: every response still on the wire is lost."""
+        now = self._clock.now
+        for completion in self._inflight:
+            if completion.time > now:
+                completion.failed = True
+        self._inflight = []
+
+    # -- raw wire charging (reliable-transport support) ---------------------
+
+    def charge_attempt(self, size: int, direction: str,
+                       at: Optional[float] = None,
+                       segments: int = 1) -> float:
+        """Charge wire occupancy + byte accounting for one transmission
+        attempt without touching the remote store; returns the completion
+        time. :class:`~repro.net.reliable.ReliableQP` uses this for every
+        attempt (it owns the data path itself so that attempts the fault
+        plan kills on the wire have no remote side effects)."""
+        if direction not in ("read", "write"):
+            raise ValueError(f"unknown direction {direction!r}")
+        wire = size * self._model.rdma_per_byte
+        if segments > 1:
+            wire += self._model.sg_overhead(segments)
+        base = (self._model.rdma_read_base if direction == "read"
+                else self._model.rdma_write_base)
+        when = self._schedule(wire, base, at=at)
+        self._stats.record(when, size, direction)
+        if self.tracer.enabled:
+            post = at if at is not None else self._clock.now
+            self.tracer.complete(f"net.{direction}", "net", post,
+                                 when - post,
+                                 {"qp": self.name, "bytes": size})
+        return when
 
     # -- verbs --------------------------------------------------------------
 
@@ -244,6 +313,15 @@ class QueuePair:
     # -- waiting ------------------------------------------------------------
 
     def wait(self, completion: Completion) -> Completion:
-        """Block (advance simulated time) until ``completion`` arrives."""
+        """Block (advance simulated time) until ``completion`` arrives.
+
+        Raises :class:`~repro.mem.remote.NodeFailedError` when the remote
+        node died while the operation was on the wire: the verb was
+        issued against a live node but its response never arrived.
+        """
         self._clock.advance_to(completion.time)
+        if completion.failed:
+            raise NodeFailedError(
+                f"{self.name}: remote node failed with {completion.op} "
+                "in flight")
         return completion

@@ -14,6 +14,7 @@ from repro.obs.names import (
     AIFM_ALIASES,
     DILOS_ALIASES,
     FASTSWAP_ALIASES,
+    NET_RELIABILITY_KEYS,
     SHARED_KEYS,
     validate_name,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "LegacyCounters",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NET_RELIABILITY_KEYS",
     "NULL_TRACER",
     "NullTracer",
     "Observability",

@@ -41,6 +41,19 @@ SHARED_KEYS = frozenset({
     "reclaim.pages_evicted",
 })
 
+#: Canonical reliability keys registered (at zero) by every kernel that
+#: routes remote IO through the reliable transport (``net_faults`` set).
+#: Kept out of :data:`SHARED_KEYS` on purpose: perfect-wire runs never
+#: create a ``ReliableQP``, so the keys only exist on fault-injected runs.
+NET_RELIABILITY_KEYS = frozenset({
+    "net.ops",
+    "net.retry",
+    "net.timeout",
+    "net.corrupt_detected",
+    "net.failover",
+    "net.giveup",
+})
+
 #: DiLOS kernel + page manager: legacy flat name -> canonical name.
 DILOS_ALIASES: Dict[str, str] = {
     "major_faults": "fault.major",

@@ -7,7 +7,10 @@ dict of byte values), checking after every step that:
 * every read returns the last value written (or zeros if never written);
 * the fault path never reclaims (the core DiLOS claim);
 * frame accounting never leaks (used frames == LRU-resident + in-flight);
-* local DRAM usage never exceeds the pool.
+* local DRAM usage never exceeds the pool;
+* transient network faults (random drops/corruption and ``link_flap``
+  outage windows) never surface: the reliable transport absorbs them,
+  so every paging invariant above holds on a lossy wire too.
 """
 
 import hypothesis.strategies as st
@@ -22,6 +25,7 @@ from hypothesis import settings
 
 from repro.common.units import MIB, PAGE_SIZE
 from repro.core import DilosConfig, DilosSystem
+from repro.net.faults import FaultPlan, RetryPolicy
 
 
 class PagingMachine(RuleBasedStateMachine):
@@ -30,13 +34,21 @@ class PagingMachine(RuleBasedStateMachine):
 
     @initialize(prefetcher=st.sampled_from(["none", "readahead", "trend",
                                             "stride"]),
-                guided=st.booleans())
-    def boot(self, prefetcher, guided):
+                guided=st.booleans(),
+                faulty=st.booleans())
+    def boot(self, prefetcher, guided, faulty):
+        # Half the machines run on a lossy wire: random drops/corruption
+        # (capped per verb so the retry budget always wins) plus the
+        # link_flap rule's outage windows.
+        self.plan = FaultPlan(seed=1234, drop=0.03, corrupt=0.02,
+                              max_consecutive=2) if faulty else None
         self.system = DilosSystem(DilosConfig(
             local_mem_bytes=512 * 1024,
             remote_mem_bytes=64 * MIB,
             prefetcher=prefetcher,
-            guided_paging=guided))
+            guided_paging=guided,
+            net_faults=self.plan,
+            net_retry=RetryPolicy(max_attempts=10)))
         self.regions = []
         self.shadow = {}  # (region_index, page) -> 16-byte value
         self.counter = 0
@@ -85,7 +97,21 @@ class PagingMachine(RuleBasedStateMachine):
     def let_background_run(self, idle):
         self.system.clock.advance(idle)
 
+    @precondition(lambda self: self.plan is not None)
+    @rule(down=st.floats(min_value=5.0, max_value=200.0))
+    def link_flap(self, down):
+        """Drop the link for a transient window starting now. The retry
+        budget (10 attempts, 50 us timeouts) out-waits any window this
+        rule can schedule, so the interleaving must still satisfy every
+        invariant and every read must still see its shadow value."""
+        self.plan.flap(self.system.clock.now, down)
+
     # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def no_verb_ever_exhausts_its_retry_budget(self):
+        if self.plan is not None:
+            assert self.system.kernel.registry.value("net.giveup") == 0
 
     @invariant()
     def fault_path_never_reclaims(self):

@@ -1,0 +1,18 @@
+"""Wire ``scripts/net_chaos_smoke.py`` into the suite: the documented
+degraded-mode reproduction (all three kernels on a >= 1% drop + corrupt
+wire: zero data loss, net.retry > 0, same-seed determinism) must pass
+end to end, exactly as a user would run it."""
+
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def test_net_chaos_smoke():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import net_chaos_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert net_chaos_smoke.main() == 0
