@@ -1,0 +1,40 @@
+"""pytest-benchmark wall-clock suite over the simulator's hot kernels.
+
+Unlike the figure/table benchmarks in ``benchmarks/``, which measure the
+*simulated* systems, this suite measures the *simulator*: how fast the
+host executes each hot kernel defined in :mod:`repro.harness.perf`.
+``python -m repro perf`` runs the same kernels standalone (with the
+regression gate and ``BENCH_perf.json`` output); this module makes them
+available under pytest-benchmark's statistics and comparison machinery::
+
+    pytest benchmarks/perf -m perf --benchmark-only
+    pytest benchmarks/perf -m perf --benchmark-autosave --benchmark-compare
+
+Each kernel asserts its own metrics digest stays fixed across rounds, so
+a benchmark run doubles as a determinism check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.perf import CASES
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_hot_path(benchmark, case):
+    checksums = set()
+
+    def kernel():
+        run = case.fn()
+        checksums.add((run.checksum, run.sim_us))
+        return run
+
+    run = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert len(checksums) == 1, (
+        f"{case.name}: non-deterministic across rounds: {checksums}")
+    benchmark.extra_info["sim_us"] = run.sim_us
+    benchmark.extra_info["ops"] = run.ops
+    benchmark.extra_info["checksum"] = run.checksum

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Run the wall-clock perf suite and write ``BENCH_perf.json``.
+
+Thin wrapper over :mod:`repro.harness.perf` for environments where the
+package is not installed (CI checkouts): it puts ``src/`` on the path and
+forwards all arguments. Equivalent to ``python -m repro perf``::
+
+    python scripts/perf_report.py                 # full run + gate
+    python scripts/perf_report.py --smoke         # 1-iteration sanity
+    python scripts/perf_report.py --help          # all options
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,7 +112,9 @@ class FastswapKernel:
         model = self.model
         vpn = va >> PAGE_SHIFT
         fault_start = self.clock.now
-        self.clock.advance(model.hw_exception + model.os_fault_entry)
+        # The swap-entry lookup charge stays separate below: a kswapd timer
+        # due between exception entry and the PTE read must fire first.
+        self.clock.advance(model.fault_entry)
         entry = self._pt.get(vpn)
         tag = pte_mod.classify(entry)
 
@@ -171,16 +173,13 @@ class FastswapKernel:
     def _major_fault(self, vpn: int, fault_start: float) -> None:
         model = self.model
         self.registry.add("fault.major")
-        components = {"exception": model.hw_exception + model.os_fault_entry}
+        components = {"exception": model.fault_entry}
 
         reclaim_us = self._maybe_direct_reclaim()
         components["reclaim"] = reclaim_us
 
-        software = (model.fastswap_swap_lookup + model.fastswap_swapcache_insert
-                    + model.fastswap_page_alloc + model.fastswap_map)
-        components["software"] = software
-        self.clock.advance(model.fastswap_swapcache_insert
-                           + model.fastswap_page_alloc)
+        components["software"] = model.fastswap_software
+        self.clock.advance(model.fastswap_major_prepare)
         frame = self._frames.alloc()
 
         issue_time = self.clock.now

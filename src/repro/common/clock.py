@@ -19,6 +19,8 @@ class Clock:
     their deadline. Callbacks may re-arm themselves.
     """
 
+    __slots__ = ("_now", "_timers", "_seq")
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         # Sorted list of (deadline, seq, callback); small enough that a
@@ -35,6 +37,11 @@ class Clock:
         """Move time forward by ``delta`` microseconds."""
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta {delta}")
+        if not self._timers:
+            # Hot path: no pending timers means nothing can fire, so the
+            # advance is a bare addition.
+            self._now += delta
+            return
         self.advance_to(self._now + delta)
 
     def advance_to(self, deadline: float) -> None:

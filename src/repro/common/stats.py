@@ -37,6 +37,8 @@ def percentile(samples: Iterable[float], pct: float) -> float:
 class Counter:
     """A named bag of monotonically increasing integer counters."""
 
+    __slots__ = ("_values",)
+
     def __init__(self) -> None:
         self._values: Dict[str, int] = defaultdict(int)
 
@@ -62,6 +64,8 @@ class Histogram:
 
     Provides mean/min/max/percentiles for tail-latency tables (Table 4).
     """
+
+    __slots__ = ("_samples",)
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -102,6 +106,8 @@ class LatencyBreakdown:
     costs (hardware exception, software path, fetch wait, reclaim, ...), and
     the figure shows per-fault averages per component.
     """
+
+    __slots__ = ("_totals", "_faults")
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = defaultdict(float)

@@ -148,7 +148,10 @@ class DilosKernel:
         tracer = self.tracer
         vpn = va >> PAGE_SHIFT
         fault_start = clock.now
-        clock.advance(model.hw_exception + model.os_fault_entry)
+        # Two charges, not one merged sum: float addition is not
+        # associative, and the golden-master suite pins the clock to the
+        # exact accumulation order of the original per-component charges.
+        clock.advance(model.fault_entry)
         clock.advance(model.dilos_pte_check)
         entry = self._pt.get(vpn)
         tag = pte_mod.classify(entry)
@@ -228,9 +231,8 @@ class DilosKernel:
         self.registry.add("fault.major")
         self.recent_faults.append(vpn)
         components = {
-            "exception": model.hw_exception + model.os_fault_entry,
-            "software": model.dilos_pte_check + model.dilos_map
-                        + model.dilos_page_alloc,
+            "exception": model.fault_entry,
+            "software": model.dilos_software,
         }
 
         frame, inline_us = self.page_manager.alloc_frame_for_fault()

@@ -18,6 +18,8 @@ _ZERO_PAGE = bytes(PAGE_SIZE)
 class FramePool:
     """Fixed-size pool of local physical frames with a free list."""
 
+    __slots__ = ("total_frames", "_data", "_free", "_is_free")
+
     def __init__(self, total_frames: int) -> None:
         if total_frames <= 0:
             raise ValueError("frame pool needs at least one frame")

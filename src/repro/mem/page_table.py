@@ -21,6 +21,8 @@ _VPN_BITS = 36  # 48-bit VA, 4 KiB pages
 class PageTable:
     """Sparse 4-level radix tree of integer PTEs."""
 
+    __slots__ = ("_root", "_leaf_cache_key", "_leaf_cache", "leaf_tables")
+
     def __init__(self) -> None:
         self._root: Dict[int, Dict] = {}
         self._leaf_cache_key = -1

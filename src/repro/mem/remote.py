@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Callable, List
 
+import numpy as np
+
 from repro.common.errors import OutOfMemoryError
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
 
@@ -25,12 +27,18 @@ class NodeFailedError(Exception):
 class MemoryNode:
     """Remote memory pool with page-slot allocation and raw byte access."""
 
+    __slots__ = ("capacity", "name", "_store", "_free_slots", "total_slots",
+                 "_failed", "_failure_listeners")
+
     def __init__(self, capacity_bytes: int, name: str = "memnode") -> None:
         if capacity_bytes <= 0 or capacity_bytes % PAGE_SIZE:
             raise ValueError("capacity must be a positive multiple of the page size")
         self.capacity = capacity_bytes
         self.name = name
-        self._store = bytearray(capacity_bytes)
+        # numpy zeros is calloc-backed: a multi-GiB registered region
+        # costs nothing until pages are actually written, where a
+        # bytearray would memset the whole capacity at boot.
+        self._store = np.zeros(capacity_bytes, dtype=np.uint8)
         total_slots = capacity_bytes >> PAGE_SHIFT
         self._free_slots: List[int] = list(range(total_slots - 1, -1, -1))
         self.total_slots = total_slots
@@ -95,10 +103,10 @@ class MemoryNode:
         self._check_alive()
         if offset < 0 or offset + size > self.capacity:
             raise ValueError(f"remote read [{offset}, {offset + size}) out of bounds")
-        return bytes(self._store[offset:offset + size])
+        return self._store[offset:offset + size].tobytes()
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         self._check_alive()
         if offset < 0 or offset + len(data) > self.capacity:
             raise ValueError(f"remote write [{offset}, {offset + len(data)}) out of bounds")
-        self._store[offset:offset + len(data)] = data
+        self._store[offset:offset + len(data)] = np.frombuffer(data, np.uint8)

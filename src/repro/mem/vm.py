@@ -9,6 +9,16 @@ set on the first write through a clean translation.
 
 CPU time is charged per byte moved (``cpu_copy_per_byte``), so computation
 and fetch pipelines interact realistically with prefetching.
+
+The per-page loops are the hottest code in the simulator, so ``read``,
+``write`` and ``touch`` inline the pure-TLB-hit case (present entry; for
+writes, writable with the dirty bit already set) against locally bound
+lookups, falling back to :meth:`VirtualMemory._translate` for everything
+else. The fast path produces byte-for-byte identical accounting to the
+per-page path — one TLB hit count and one LRU refresh per page, misses and
+protection checks through ``_translate`` — and the clock is still charged
+exactly once per call, after the loop. ``tests/test_golden_master.py`` and
+the Hypothesis differential suite pin this equivalence.
 """
 
 from __future__ import annotations
@@ -28,10 +38,14 @@ from repro.mem.tlb import Tlb
 FaultHandler = Callable[[int, bool], None]
 
 _MAX_FAULT_RETRIES = 4
+_PAGE_MASK = PAGE_SIZE - 1
 
 
 class VirtualMemory:
     """Byte-granular load/store engine over the paged address space."""
+
+    __slots__ = ("_clock", "_pt", "_frames", "_copy_cost", "tlb",
+                 "counters", "_fault_handler")
 
     def __init__(self, clock: Clock, page_table: PageTable,
                  frames: FramePool, copy_cost_per_byte: float) -> None:
@@ -95,7 +109,7 @@ class VirtualMemory:
         """Split ``[va, va+size)`` into per-page ``(vpn, offset, length)``."""
         while size > 0:
             vpn = va >> PAGE_SHIFT
-            offset = va & (PAGE_SIZE - 1)
+            offset = va & _PAGE_MASK
             length = min(PAGE_SIZE - offset, size)
             yield vpn, offset, length
             va += length
@@ -109,10 +123,36 @@ class VirtualMemory:
             raise ValueError("negative read size")
         if size == 0:
             return b""
+        tlb = self.tlb
+        tlb_get = tlb.entries.get
+        tlb_move = tlb.entries.move_to_end
+        frame_bufs = self._frames._data
+        translate = self._translate
         parts = []
-        for vpn, offset, length in self._chunks(va, size):
-            frame = self._translate(vpn, is_write=False)
-            parts.append(bytes(self._frames.data(frame)[offset:offset + length]))
+        append = parts.append
+        remaining = size
+        hits = 0
+        while remaining > 0:
+            vpn = va >> PAGE_SHIFT
+            offset = va & _PAGE_MASK
+            length = PAGE_SIZE - offset
+            if length > remaining:
+                length = remaining
+            entry = tlb_get(vpn)
+            if entry is not None:
+                tlb_move(vpn)
+                hits += 1
+                frame = entry[0]
+            else:
+                # Flush accrued hits before the slow path so accounting is
+                # exact even if translation raises mid-access.
+                tlb.hits += hits
+                hits = 0
+                frame = translate(vpn, False)
+            append(bytes(frame_bufs[frame][offset:offset + length]))
+            va += length
+            remaining -= length
+        tlb.hits += hits
         self._clock.advance(size * self._copy_cost)
         self.counters.add("bytes_read", size)
         return b"".join(parts) if len(parts) > 1 else parts[0]
@@ -122,12 +162,38 @@ class VirtualMemory:
         size = len(data)
         if size == 0:
             return
+        tlb = self.tlb
+        tlb_get = tlb.entries.get
+        tlb_move = tlb.entries.move_to_end
+        frame_bufs = self._frames._data
+        translate = self._translate
         cursor = 0
-        for vpn, offset, length in self._chunks(va, size):
-            frame = self._translate(vpn, is_write=True)
-            self._frames.data(frame)[offset:offset + length] = \
+        remaining = size
+        hits = 0
+        while remaining > 0:
+            vpn = va >> PAGE_SHIFT
+            offset = va & _PAGE_MASK
+            length = PAGE_SIZE - offset
+            if length > remaining:
+                length = remaining
+            entry = tlb_get(vpn)
+            # A write is a pure hit only once the translation is writable
+            # and its dirty bit is set; the first write through a clean
+            # translation must walk the PTE, so it takes the slow path.
+            if entry is not None and entry[1] and entry[2]:
+                tlb_move(vpn)
+                hits += 1
+                frame = entry[0]
+            else:
+                tlb.hits += hits
+                hits = 0
+                frame = translate(vpn, True)
+            frame_bufs[frame][offset:offset + length] = \
                 data[cursor:cursor + length]
             cursor += length
+            va += length
+            remaining -= length
+        tlb.hits += hits
         self._clock.advance(size * self._copy_cost)
         self.counters.add("bytes_written", size)
 
@@ -137,8 +203,15 @@ class VirtualMemory:
         explicit CPU charge rather than byte-by-byte copies."""
         if size <= 0:
             return
-        for vpn, _offset, _length in self._chunks(va, size):
-            self._translate(vpn, is_write)
+        vpn = va >> PAGE_SHIFT
+        last = (va + size - 1) >> PAGE_SHIFT
+        tlb = self.tlb
+        translate = self._translate
+        while vpn <= last:
+            vpn += tlb.lookup_run(vpn, last - vpn + 1, is_write)
+            if vpn <= last:
+                translate(vpn, is_write)
+                vpn += 1
 
     # -- typed helpers ----------------------------------------------------
 

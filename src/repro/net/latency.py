@@ -132,6 +132,26 @@ class LatencyModel:
     sync_overhead_linux: float = cycles_to_us(60)
     sync_overhead_osv: float = cycles_to_us(220)
 
+    # Precomputed sums ---------------------------------------------------
+
+    def __post_init__(self) -> None:
+        # Derived sums read on every simulated page fault. Precomputing
+        # them here keeps the fault handlers to a single clock charge.
+        # ``dataclasses.replace`` re-runs ``__post_init__``, so perturbed
+        # models (repro.net.media and experiment sweeps) stay consistent.
+        #: Hardware exception delivery + OS entry, charged on every fault.
+        self.fault_entry = self.hw_exception + self.os_fault_entry
+        #: DiLOS software component of a major fault (Figure 6 breakdown).
+        self.dilos_software = (
+            self.dilos_pte_check + self.dilos_map + self.dilos_page_alloc)
+        #: Fastswap major-fault software cost before the RDMA issue.
+        self.fastswap_major_prepare = (
+            self.fastswap_swapcache_insert + self.fastswap_page_alloc)
+        #: Fastswap software component of a major fault (Figure 1 breakdown).
+        self.fastswap_software = (
+            self.fastswap_swap_lookup + self.fastswap_swapcache_insert
+            + self.fastswap_page_alloc + self.fastswap_map)
+
     # Derived helpers ----------------------------------------------------
 
     def rdma_read_latency(self, size: int) -> float:

@@ -34,6 +34,9 @@ class NetStats:
     plot bandwidth over time (Figure 12).
     """
 
+    __slots__ = ("bytes_read", "bytes_written", "ops_read", "ops_write",
+                 "timeline")
+
     def __init__(self) -> None:
         self.bytes_read = 0
         self.bytes_written = 0
@@ -111,6 +114,11 @@ class QueuePair:
     region.
     """
 
+    __slots__ = ("name", "_clock", "_model", "_remote", "_stats", "tracer",
+                 "extra_completion_delay", "_wire_free", "posted",
+                 "_inflight", "_listening", "_per_byte", "_read_base",
+                 "_write_base", "_post_overhead")
+
     def __init__(
         self,
         name: str,
@@ -133,6 +141,12 @@ class QueuePair:
         self.extra_completion_delay = extra_completion_delay
         self._wire_free = 0.0
         self.posted = 0
+        # Model constants prebound once: every verb reads them, and the
+        # model is immutable for the lifetime of the QP.
+        self._per_byte = model.rdma_per_byte
+        self._read_base = model.rdma_read_base
+        self._write_base = model.rdma_write_base
+        self._post_overhead = model.rdma_post_overhead
         # In-flight tracking so a mid-flight node crash is *observed* by
         # the issuer (a timeout/error), never silently absorbed. Only the
         # plain single-node remote announces failures; redundant cluster
@@ -155,10 +169,10 @@ class QueuePair:
         posting overhead into the timeline without moving the clock.
         """
         if at is None:
-            self._clock.advance(self._model.rdma_post_overhead)
+            self._clock.advance(self._post_overhead)
             at = self._clock.now
         else:
-            at += self._model.rdma_post_overhead
+            at += self._post_overhead
         start = max(at, self._wire_free)
         wire_done = start + wire_time
         self._wire_free = wire_done
@@ -204,11 +218,11 @@ class QueuePair:
         plan kills on the wire have no remote side effects)."""
         if direction not in ("read", "write"):
             raise ValueError(f"unknown direction {direction!r}")
-        wire = size * self._model.rdma_per_byte
+        wire = size * self._per_byte
         if segments > 1:
             wire += self._model.sg_overhead(segments)
-        base = (self._model.rdma_read_base if direction == "read"
-                else self._model.rdma_write_base)
+        base = (self._read_base if direction == "read"
+                else self._write_base)
         when = self._schedule(wire, base, at=at)
         self._stats.record(when, size, direction)
         if self.tracer.enabled:
@@ -228,8 +242,7 @@ class QueuePair:
     ) -> Completion:
         """One-sided READ of ``size`` bytes at ``remote_offset``."""
         data = self._remote.read_bytes(remote_offset, size)
-        when = self._schedule(size * self._model.rdma_per_byte,
-                              self._model.rdma_read_base)
+        when = self._schedule(size * self._per_byte, self._read_base)
         self._stats.record(when, size, "read")
         if self.tracer.enabled:
             self.tracer.complete("net.read", "net", self._clock.now,
@@ -247,8 +260,8 @@ class QueuePair:
     ) -> Completion:
         """One-sided WRITE of ``data`` to ``remote_offset``."""
         self._remote.write_bytes(remote_offset, data)
-        when = self._schedule(len(data) * self._model.rdma_per_byte,
-                              self._model.rdma_write_base)
+        when = self._schedule(len(data) * self._per_byte,
+                              self._write_base)
         self._stats.record(when, len(data), "write")
         if self.tracer.enabled:
             self.tracer.complete("net.write", "net", self._clock.now,
@@ -274,8 +287,8 @@ class QueuePair:
         payload = b"".join(
             self._remote.read_bytes(off, size) for off, size in segments)
         total = len(payload)
-        wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
-        when = self._schedule(wire, self._model.rdma_read_base)
+        wire = total * self._per_byte + self._model.sg_overhead(len(segments))
+        when = self._schedule(wire, self._read_base)
         self._stats.record(when, total, "read")
         if self.tracer.enabled:
             self.tracer.complete("net.read", "net", self._clock.now,
@@ -298,8 +311,8 @@ class QueuePair:
         for off, data in segments:
             self._remote.write_bytes(off, data)
             total += len(data)
-        wire = total * self._model.rdma_per_byte + self._model.sg_overhead(len(segments))
-        when = self._schedule(wire, self._model.rdma_write_base)
+        wire = total * self._per_byte + self._model.sg_overhead(len(segments))
+        when = self._schedule(wire, self._write_base)
         self._stats.record(when, total, "write")
         if self.tracer.enabled:
             self.tracer.complete("net.write", "net", self._clock.now,

@@ -76,6 +76,8 @@ class Gauge:
 class Histogram(_stats.Histogram):
     """A named histogram instrument (raw samples + percentiles)."""
 
+    __slots__ = ("name",)
+
     def __init__(self, name: str) -> None:
         super().__init__()
         self.name = name
@@ -96,6 +98,8 @@ class Histogram(_stats.Histogram):
 
 class LatencyBreakdown(_stats.LatencyBreakdown):
     """A named per-component latency breakdown instrument."""
+
+    __slots__ = ("name",)
 
     def __init__(self, name: str) -> None:
         super().__init__()

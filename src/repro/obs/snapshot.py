@@ -10,6 +10,8 @@ lands in :attr:`extra` so the registry data stays immutable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Mapping
 
@@ -49,6 +51,38 @@ class MetricsSnapshot(Mapping):
     def value(self, canonical: str, default: float = 0) -> float:
         """Counter/gauge value under its canonical name."""
         return self.counters.get(canonical, default)
+
+    # -- determinism digest ----------------------------------------------------
+
+    def canonical_json(self) -> str:
+        """Canonical JSON over every registry-owned field of the snapshot.
+
+        ``extra`` is excluded: it is a mutable overflow bag that harness
+        code writes presentation values into, not simulation output. Keys
+        are sorted and floats use ``repr`` (via ``json``), so the string —
+        and therefore :meth:`digest` — is stable across interpreter runs
+        and Python versions for identical simulation results.
+        """
+        return json.dumps(
+            {
+                "system": self.system,
+                "time_us": self.time_us,
+                "counters": self.counters,
+                "breakdowns": self.breakdowns,
+                "breakdown_counts": self.breakdown_counts,
+                "histograms": self.histograms,
+                "raw_counters": self.raw_counters,
+            },
+            sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`.
+
+        This is the golden-master contract: two runs are *metrics-identical*
+        iff their digests match — same simulated clock, same counters and
+        gauges, same breakdown averages, same histogram summaries.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     # -- flat compatibility view ---------------------------------------------
 

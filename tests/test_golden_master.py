@@ -1,0 +1,124 @@
+"""Golden-master determinism suite.
+
+Fixed-seed end-to-end runs of DiLOS, Fastswap, and AIFM over a small
+sequential-read and Redis workload, pinned to a SHA-256 digest of the
+full :class:`~repro.obs.snapshot.MetricsSnapshot` (every counter, gauge,
+breakdown and histogram summary, plus the final simulated clock).
+
+The digests below were captured on the *unoptimized* hot path, before the
+coalesced-TLB/fast-clock work landed. Any refactor that shifts simulated
+time or any canonical metric — even by one count — fails here loudly;
+that is the contract that lets the hot path be rewritten freely.
+
+If a change *intentionally* alters simulated behavior (a new latency
+component, a new metric), re-capture with::
+
+    PYTHONPATH=src python tests/test_golden_master.py
+
+and update ``GOLDEN`` in the same commit, explaining why in its message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import MIB
+
+#: scenario -> (metrics digest, final simulated clock in us).
+GOLDEN = {
+    "seqread_dilos": (
+        "82f68d85aa88a847569fcc953fea561e461c6a6a5fc87d10657f3567a82ee93f",
+        527.5879199999995),
+    "seqread_fastswap": (
+        "0db0fcfbc87f7b421a57c0bb0ccedfd6b19c8fb0d70cd826ee735dfe9da36217",
+        2187.0835519999628),
+    "seqscan_aifm": (
+        "aa8168eb9db9d59bb2918a03a064a9fc4913fc233216b8b708a07a95610eb6f1",
+        14.888069565217304),
+    "redis_get_dilos": (
+        "4688a2b5e4f86b069c0c959b6ba52a7bbaeaacaa779d5a8c3fb21813dc8c7965",
+        5362.223680695648),
+    "redis_get_fastswap": (
+        "16bcfef36370161a3ea18e9e18dfe35d8f705ffe8f6e06c62614731a61947533",
+        5899.989016695649),
+}
+
+
+def _run_seqread(kind: str):
+    from repro.apps.seqrw import SequentialWorkload
+    from repro.harness import local_bytes_for, make_system
+
+    workload = SequentialWorkload(1 * MIB)
+    system = make_system(kind,
+                         local_bytes_for(workload.footprint_bytes, 0.25))
+    workload.run(system, "read", verify=True)
+    return system
+
+
+def _run_seqscan_aifm():
+    from repro.baselines.aifm import RemArray
+    from repro.harness import local_bytes_for, make_system
+
+    count, item = 512, 128
+    system = make_system("aifm-rdma", local_bytes_for(count * item, 0.25))
+    array = RemArray(system, count, item)
+    for i in range(count):
+        array.set(i, (i & 0xFF).to_bytes(1, "little") * item)
+    for i, data in enumerate(array.scan()):
+        assert data[0] == (i & 0xFF)
+    return system
+
+
+def _run_redis_get(kind: str):
+    from repro.alloc import Mimalloc
+    from repro.apps.redis import GetWorkload, RedisServer
+    from repro.harness import local_bytes_for, make_system
+
+    workload = GetWorkload(value_size=4096, n_keys=40, n_queries=120)
+    system = make_system(kind,
+                         local_bytes_for(workload.footprint_bytes, 0.25),
+                         remote_bytes=32 * MIB)
+    server = RedisServer(system, Mimalloc(system, arena_bytes=8 * MIB))
+    workload.populate(server)
+    system.clock.advance(5000)
+    workload.run(server, verify=True)
+    return system
+
+
+SCENARIOS = {
+    "seqread_dilos": lambda: _run_seqread("dilos-readahead"),
+    "seqread_fastswap": lambda: _run_seqread("fastswap"),
+    "seqscan_aifm": _run_seqscan_aifm,
+    "redis_get_dilos": lambda: _run_redis_get("dilos-readahead"),
+    "redis_get_fastswap": lambda: _run_redis_get("fastswap"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_master(name):
+    system = SCENARIOS[name]()
+    snapshot = system.metrics()
+    want_digest, want_clock = GOLDEN[name]
+    assert system.clock.now == want_clock, (
+        f"{name}: simulated clock moved — {system.clock.now} us, "
+        f"golden {want_clock} us. A hot-path change altered simulated "
+        "time; fix it or deliberately re-capture (see module docstring).")
+    assert snapshot.digest() == want_digest, (
+        f"{name}: metrics digest changed while the clock matched — some "
+        "counter/gauge/histogram shifted. Diff the canonical JSON:\n"
+        f"{snapshot.canonical_json()}")
+
+
+def test_digest_is_stable_within_process():
+    """Two identical runs in one process must collide on the digest."""
+    first = SCENARIOS["seqread_dilos"]().metrics().digest()
+    second = SCENARIOS["seqread_dilos"]().metrics().digest()
+    assert first == second
+
+
+if __name__ == "__main__":
+    for name in sorted(SCENARIOS):
+        system = SCENARIOS[name]()
+        print(f'    "{name}": (\n'
+              f'        "{system.metrics().digest()}",\n'
+              f'        {system.clock.now!r}),')
