@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.units import MIB
+from repro.net.faults import (
+    FaultPlan,
+    RetryPolicy,
+    coerce_fault_plan,
+    coerce_retry_policy,
+)
 from repro.net.latency import LatencyModel
 
 
@@ -27,13 +34,18 @@ class AifmConfig:
     #: Fraction of the heap evacuated per evacuation round.
     evacuation_batch_frac: float = 0.05
     #: Network fault injection (``None`` = perfect wire): a
-    #: :class:`repro.net.FaultPlan` or spec string; routes all object IO
-    #: through the reliable transport.
-    net_faults: object = None
+    #: :class:`repro.net.FaultPlan` or spec string (parsed once at
+    #: config construction); routes all object IO through the reliable
+    #: transport.
+    net_faults: Optional[FaultPlan] = None
     #: Retry policy override (:class:`repro.net.RetryPolicy`) for the
     #: reliable transport; only used when ``net_faults`` is set.
-    net_retry: object = None
+    net_retry: Optional[RetryPolicy] = None
     latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        self.net_faults = coerce_fault_plan(self.net_faults)
+        self.net_retry = coerce_retry_policy(self.net_retry)
 
     def validate(self) -> None:
         if self.local_heap_bytes <= 0 or self.remote_mem_bytes <= 0:

@@ -22,7 +22,6 @@ from repro.common.clock import Clock
 from repro.common.errors import OutOfMemoryError
 from repro.baselines.aifm.config import AifmConfig
 from repro.mem.remote import MemoryNode, NodeFailedError
-from repro.net.faults import FaultPlan
 from repro.net.qp import Completion, NetStats, QueuePair
 from repro.net.reliable import ReliableQP
 from repro.obs import (
@@ -83,12 +82,19 @@ class AifmRuntime:
     """The user-level far-memory runtime (one application, one memory node)."""
 
     def __init__(self, config: Optional[AifmConfig] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 memory_backend=None,
+                 clock: Optional[Clock] = None) -> None:
+        """Boot the runtime; ``memory_backend`` overrides the default
+        single memory node (e.g. a sharded/replicated cluster from
+        :mod:`repro.mem.cluster` — AIFM's object reads/writes split at
+        page boundaries inside the backend); ``clock`` injects a shared
+        timeline so independently booted systems can be co-scheduled."""
         self.config = config or AifmConfig()
         self.config.validate()
-        self.clock = Clock()
+        self.clock = clock or Clock()
         self.model = self.config.latency
-        self.node = MemoryNode(self.config.remote_mem_bytes)
+        self.node = memory_backend or MemoryNode(self.config.remote_mem_bytes)
         self.stats = NetStats()
         self.obs = obs or Observability.default()
         self.registry = self.obs.registry
@@ -104,7 +110,7 @@ class AifmRuntime:
                             lambda: self.stats.bytes_written)
         self.registry.gauge("heap.bytes_used", lambda: self.heap_used)
         extra = self.model.tcp_extra if self.config.transport == "tcp" else 0.0
-        plan = FaultPlan.coerce(self.config.net_faults)
+        plan = self.config.net_faults  # typed Optional[FaultPlan], parsed once
 
         def connection(name: str):
             raw = QueuePair(name, self.clock, self.model, self.node,

@@ -30,7 +30,6 @@ from repro.mem.addrspace import AddressSpace, Region
 from repro.mem.frames import FramePool
 from repro.mem.remote import MemoryNode, NodeFailedError
 from repro.mem.vm import VirtualMemory
-from repro.net.faults import FaultPlan
 from repro.net.qp import NetStats, QueuePair
 from repro.net.reliable import ReliableQP
 from repro.obs import (
@@ -80,7 +79,7 @@ class FastswapKernel:
         #: Faults, readahead, and frontswap stores all share one swap IO
         #: queue — demand fetches queue behind readahead and write-backs
         #: (the head-of-line blocking DiLOS' comm module avoids, §4.5).
-        plan = FaultPlan.coerce(config.net_faults)
+        plan = config.net_faults  # typed Optional[FaultPlan], parsed once
         if plan is None:
             self.swap_qp = QueuePair("swap", clock, self.model, node,
                                      self.stats, tracer=self.tracer)
@@ -368,13 +367,16 @@ class FastswapSystem(BaseSystem):
 
     def __init__(self, config: Optional[FastswapConfig] = None,
                  memory_backend=None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 clock: Optional[Clock] = None) -> None:
         """Boot a node; ``memory_backend`` overrides the default single
         memory node (e.g. a cluster from :mod:`repro.mem.cluster`);
-        ``obs`` injects a shared registry or an enabled tracer."""
+        ``clock`` injects a shared timeline so independently booted
+        systems can be co-scheduled; ``obs`` injects a shared registry
+        or an enabled tracer."""
         self.config = config or FastswapConfig()
         self.config.validate()
-        self.clock = Clock()
+        self.clock = clock or Clock()
         self.model = self.config.latency
         self.node = memory_backend or MemoryNode(self.config.remote_mem_bytes)
         self.frames = FramePool(self.config.local_mem_bytes // PAGE_SIZE)

@@ -20,6 +20,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.common.units import MIB
+from repro.core.spec import BACKEND_SPEC_EXAMPLES, make_backend
 from repro.harness import SYSTEM_KINDS, format_table, local_bytes_for, make_system
 from repro.net.faults import FaultPlan
 from repro.alloc import Mimalloc
@@ -61,8 +62,19 @@ def _fault_plan(spec: str) -> FaultPlan:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _backend_spec(spec: str) -> str:
+    """argparse type for --backend: validate the spec, return the string
+    (systems are sized per command, so the real backend is built later)."""
+    try:
+        make_backend(spec, 1 * MIB)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return spec
+
+
 def _boot(args, footprint: int):
     return make_system(args.system, local_bytes_for(footprint, args.ratio),
+                       backend=getattr(args, "backend", "node"),
                        net_faults=getattr(args, "net_faults", None))
 
 
@@ -95,7 +107,8 @@ def cmd_trace(args) -> int:
     obs = Observability.tracing(capacity=args.capacity)
     system = make_system(
         args.system, local_bytes_for(workload.footprint_bytes, args.ratio),
-        obs=obs, net_faults=getattr(args, "net_faults", None))
+        obs=obs, backend=getattr(args, "backend", "node"),
+        net_faults=getattr(args, "net_faults", None))
     if args.workload == "seqrw":
         workload.run(system, args.mode, verify=(args.mode == "read"))
     elif args.system.startswith("aifm"):
@@ -142,10 +155,11 @@ def cmd_sweep(args) -> int:
         print(f"error: sweep supports {sorted(builders)}", file=sys.stderr)
         return 2
 
-    def runner(kind, ratio):
+    def runner(kind, ratio, backend="node"):
         workload = builders[args.workload]()
         system = make_system(
-            kind, local_bytes_for(workload.footprint_bytes, ratio))
+            kind, local_bytes_for(workload.footprint_bytes, ratio),
+            backend=backend)
         if kind.startswith("aifm"):
             if args.workload != "taxi":
                 raise SystemExit(
@@ -157,7 +171,7 @@ def cmd_sweep(args) -> int:
                            unit="ms").record_metrics(system)
 
     measurements = sweep_ratios(args.workload, runner, args.systems,
-                                args.ratios)
+                                args.ratios, backend=args.backend)
     print(ratio_table(f"{args.workload} completion time", measurements))
     if args.save:
         save_json(measurements, args.save)
@@ -284,6 +298,7 @@ def _redis_server(args, footprint: int):
         return None
     system = make_system(args.system, local_bytes_for(footprint, args.ratio),
                          remote_bytes=512 * MIB,
+                         backend=getattr(args, "backend", "node"),
                          net_faults=getattr(args, "net_faults", None))
     return RedisServer(system, Mimalloc(system, arena_bytes=256 * MIB),
                        guide=guide)
@@ -322,6 +337,56 @@ def cmd_redis_lrange(args) -> int:
     return 0
 
 
+def cmd_tenants(args) -> int:
+    """Run a multi-tenant scenario: N kernels round-robin on one shared
+    clock and memory backend, reporting per-tenant and aggregate metrics
+    plus the final deterministic digest."""
+    from repro.harness.scenarios import SCENARIOS, build_scenario
+
+    if args.list:
+        print(format_table("preset scenarios", ["name", "description"],
+                           [[name, desc]
+                            for name, (desc, _) in sorted(SCENARIOS.items())]))
+        return 0
+    try:
+        cluster = build_scenario(args.scenario, backend=args.backend,
+                                 quantum_us=args.quantum_us,
+                                 kind=args.system)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snapshot = cluster.run(max_quanta=args.max_quanta)
+    print(f"{args.scenario} on {cluster.backend_label}: "
+          f"{len(cluster.tenants)} tenants, "
+          f"{int(snapshot.value('cluster.quanta'))} quanta, "
+          f"{cluster.clock.now / 1000:.2f} simulated ms, "
+          f"fairness {snapshot.value('cluster.fairness_jain'):.3f}")
+    rows = []
+    for tenant in cluster.tenants:
+        rows.append([
+            tenant.name,
+            tenant.ops,
+            tenant.quanta,
+            f"{tenant.run_us / 1000:.2f}",
+            int(snapshot.value(f"tenant.{tenant.name}.fault.major")),
+            int(snapshot.value(f"tenant.{tenant.name}.prefetch.issued")),
+            int(snapshot.value(f"tenant.{tenant.name}.net.bytes_read")),
+            "yes" if tenant.done else "no",
+        ])
+    print(format_table(
+        "tenants",
+        ["tenant", "ops", "quanta", "run_ms", "major_faults", "prefetches",
+         "net_rd_bytes", "done"], rows))
+    used = (snapshot.value("backend.total_slots")
+            - snapshot.value("backend.free_slots"))
+    print(format_table("shared backend", ["metric", "value"], [
+        ["slots used", f"{int(used)}/{int(snapshot.value('backend.total_slots'))}"],
+        ["capacity (MiB)", f"{snapshot.value('backend.capacity_bytes') / MIB:.0f}"],
+    ]))
+    print(f"metrics digest: {snapshot.digest()}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Wall-clock perf suite: run hot kernels, write BENCH_perf.json,
     exit non-zero past the regression threshold."""
@@ -347,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "reliable transport; SPEC like "
                             "'drop=0.01,corrupt=0.005,seed=7' "
                             "(see docs/RELIABILITY.md)")
+        p.add_argument("--backend", default="node", metavar="SPEC",
+                       type=_backend_spec,
+                       help="remote memory backend: one of "
+                            f"{', '.join(BACKEND_SPEC_EXAMPLES)} "
+                            "(default: node)")
 
     sub.add_parser("systems", help="list system keys").set_defaults(
         func=cmd_systems)
@@ -368,7 +438,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=None,
                    help="workload size override (elements/rows)")
     p.add_argument("--save", default=None, help="write results JSON here")
+    p.add_argument("--backend", default="node", metavar="SPEC",
+                   type=_backend_spec,
+                   help="remote memory backend for every booted system: "
+                        f"one of {', '.join(BACKEND_SPEC_EXAMPLES)}")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "tenants",
+        help="co-schedule tenant workloads on one shared backend")
+    p.add_argument("scenario", nargs="?", default="kmeans+redis",
+                   help="preset scenario name (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list preset scenarios and exit")
+    p.add_argument("--system", default=None, choices=SYSTEM_KINDS,
+                   help="kernel kind for every tenant "
+                        "(default: the preset's choice)")
+    p.add_argument("--backend", default=None, metavar="SPEC",
+                   type=_backend_spec,
+                   help="shared backend override: one of "
+                        f"{', '.join(BACKEND_SPEC_EXAMPLES)}")
+    p.add_argument("--quantum-us", type=float, default=None,
+                   help="scheduling time slice in simulated us")
+    p.add_argument("--max-quanta", type=int, default=None,
+                   help="stop after this many total time slices")
+    p.set_defaults(func=cmd_tenants)
 
     p = sub.add_parser(
         "trace", help="run a workload with event tracing; export the trace")

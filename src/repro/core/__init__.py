@@ -14,6 +14,18 @@ from repro.core.libos import LibOS
 from repro.core.loader import ElfLoader, LoadedBinary
 from repro.core.page_manager import PageManager
 
+# The boot layer imports the baseline packages, which import repro.core.*
+# submodules directly — so it must come after everything above.
+from repro.core.spec import (  # noqa: E402
+    SystemSpec,
+    backend_kinds,
+    backend_label,
+    kernel_kinds,
+    make_backend,
+    register_backend,
+    register_kernel,
+)
+
 __all__ = [
     "AllocatorGuide",
     "BaseSystem",
@@ -27,5 +39,12 @@ __all__ = [
     "LoadedBinary",
     "PageManager",
     "PrefetchGuide",
+    "SystemSpec",
+    "backend_kinds",
+    "backend_label",
     "coalesce_ranges",
+    "kernel_kinds",
+    "make_backend",
+    "register_backend",
+    "register_kernel",
 ]

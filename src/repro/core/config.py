@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.units import MIB
+from repro.net.faults import (
+    FaultPlan,
+    RetryPolicy,
+    coerce_fault_plan,
+    coerce_retry_policy,
+)
 from repro.net.latency import LatencyModel
 
 
@@ -53,14 +60,19 @@ class DilosConfig:
     cores: int = 1
     #: Network fault injection: ``None`` (perfect wire), a
     #: :class:`repro.net.FaultPlan`, or a spec string such as
-    #: ``"drop=0.01,corrupt=0.005,seed=7"``. When set, all remote IO is
-    #: routed through the reliable transport (timeout/retry/failover).
-    net_faults: object = None
+    #: ``"drop=0.01,corrupt=0.005,seed=7"`` (parsed once at config
+    #: construction). When set, all remote IO is routed through the
+    #: reliable transport (timeout/retry/failover).
+    net_faults: Optional[FaultPlan] = None
     #: Retry policy for the reliable transport (``None`` = defaults);
     #: a :class:`repro.net.RetryPolicy`. Only used when ``net_faults``
     #: is set.
-    net_retry: object = None
+    net_retry: Optional[RetryPolicy] = None
     latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        self.net_faults = coerce_fault_plan(self.net_faults)
+        self.net_retry = coerce_retry_policy(self.net_retry)
 
     def validate(self) -> None:
         if self.local_mem_bytes <= 0 or self.remote_mem_bytes <= 0:

@@ -522,14 +522,17 @@ class DilosSystem(BaseSystem):
 
     def __init__(self, config: Optional[DilosConfig] = None,
                  memory_backend=None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 clock: Optional[Clock] = None) -> None:
         """Boot a node; ``memory_backend`` overrides the default single
         memory node (e.g. a sharded/replicated cluster from
-        :mod:`repro.mem.cluster`); ``obs`` injects a shared registry or
-        an enabled tracer (``Observability.tracing()``)."""
+        :mod:`repro.mem.cluster`); ``clock`` injects a shared timeline
+        so independently booted systems can be co-scheduled; ``obs``
+        injects a shared registry or an enabled tracer
+        (``Observability.tracing()``)."""
         self.config = config or DilosConfig()
         self.config.validate()
-        self.clock = Clock()
+        self.clock = clock or Clock()
         self.model = self.config.latency
         self.node = memory_backend or MemoryNode(self.config.remote_mem_bytes)
         self.frames = FramePool(self.config.local_mem_bytes // PAGE_SIZE)

@@ -9,26 +9,24 @@ the grid and collects :class:`Measurement` rows the report module formats.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from repro.common.clock import Clock
 from repro.common.units import KIB, MIB
-from repro.baselines.aifm import AifmConfig, AifmRuntime
-from repro.baselines.fastswap import FastswapConfig, FastswapSystem
-from repro.core import DilosConfig, DilosSystem
+from repro.core.spec import (
+    BackendSpec,
+    SystemSpec,
+    backend_label,
+    kernel_kinds,
+)
 from repro.obs import Observability
 
-#: Presentation keys, matching the paper's figure legends.
-SYSTEM_KINDS = (
-    "fastswap",
-    "dilos-none",
-    "dilos-readahead",
-    "dilos-trend",
-    "dilos-stride",
-    "dilos-tcp",
-    "aifm",
-    "aifm-rdma",
-)
+#: Presentation keys, matching the paper's figure legends. Sourced from
+#: the kernel registry so extensions registered via
+#: :func:`repro.core.spec.register_kernel` show up everywhere.
+SYSTEM_KINDS = kernel_kinds()
 
 #: The paper's local-memory sweep.
 PAPER_RATIOS = (0.125, 0.25, 0.50, 1.0)
@@ -53,14 +51,23 @@ def local_bytes_for(footprint_bytes: int, ratio: float,
 
 def make_system(kind: str, local_bytes: int,
                 remote_bytes: int = 512 * MIB,
-                obs: Optional[Observability] = None, **overrides: Any):
+                obs: Optional[Observability] = None,
+                backend: BackendSpec = "node",
+                clock: Optional[Clock] = None,
+                **overrides: Any):
     """Boot a system by presentation key.
 
-    Returns a :class:`BaseSystem` for the paging systems or an
-    :class:`AifmRuntime` for the AIFM variants. ``obs`` injects an
-    observability bundle — e.g. ``Observability.tracing()`` to record
-    simulated-clock trace events — without per-kind constructor churn;
+    Compatibility shim over :meth:`repro.core.spec.SystemSpec.boot` — the
+    registry-driven boot layer. Returns a :class:`BaseSystem` for the
+    paging systems or an :class:`AifmRuntime` for the AIFM variants.
+    ``obs`` injects an observability bundle — e.g.
+    ``Observability.tracing()`` to record simulated-clock trace events —
     the default is a fresh registry with tracing disabled.
+
+    ``backend`` selects the remote-memory backend: ``"node"`` (one
+    memory node, the default), a cluster spec such as ``"sharded:4"``,
+    ``"replicated:3"`` or ``"parity:4+1"``, or a ready backend object to
+    share across systems. ``clock`` injects a shared timeline.
 
     Extra keyword arguments pass straight into the system's config
     dataclass; notably ``net_faults`` (a :class:`repro.net.FaultPlan`
@@ -68,29 +75,13 @@ def make_system(kind: str, local_bytes: int,
     ``net_retry`` route all remote IO through the reliable transport —
     the same knob every kind understands.
     """
-    if kind == "fastswap":
-        return FastswapSystem(FastswapConfig(
-            local_mem_bytes=local_bytes, remote_mem_bytes=remote_bytes,
-            **overrides), obs=obs)
-    if kind.startswith("dilos"):
-        flavor = kind.split("-", 1)[1] if "-" in kind else "readahead"
-        config = DilosConfig(local_mem_bytes=local_bytes,
-                             remote_mem_bytes=remote_bytes, **overrides)
-        if flavor == "tcp":
-            config.prefetcher = "readahead"
-            config.tcp_emulation = True
-        elif flavor in ("none", "readahead", "trend", "stride"):
-            config.prefetcher = flavor
-        else:
-            raise ValueError(f"unknown DiLOS flavor {flavor!r}")
-        return DilosSystem(config, obs=obs)
-    if kind.startswith("aifm"):
-        transport = "rdma" if kind.endswith("rdma") else "tcp"
-        return AifmRuntime(AifmConfig(local_heap_bytes=local_bytes,
-                                      remote_mem_bytes=remote_bytes,
-                                      transport=transport, **overrides),
-                           obs=obs)
-    raise ValueError(f"unknown system kind {kind!r}; pick from {SYSTEM_KINDS}")
+    spec = SystemSpec(kind=kind, local_mem_bytes=local_bytes,
+                      remote_mem_bytes=remote_bytes, backend=backend,
+                      obs=obs, clock=clock,
+                      net_faults=overrides.pop("net_faults", None),
+                      net_retry=overrides.pop("net_retry", None),
+                      overrides=overrides)
+    return spec.boot()
 
 
 @dataclass
@@ -120,18 +111,29 @@ class Measurement:
 
 def sweep_ratios(
     workload_name: str,
-    runner: Callable[[str, float], Measurement],
+    runner: Callable[..., Measurement],
     systems: Iterable[str],
     ratios: Iterable[float] = PAPER_RATIOS,
+    backend: BackendSpec = "node",
 ) -> List[Measurement]:
-    """Run ``runner(system_kind, ratio)`` over the full grid."""
+    """Run ``runner(system_kind, ratio)`` over the full grid.
+
+    ``backend`` pins every booted system to one backend spec (e.g.
+    ``"sharded:4"``); it is forwarded to runners that accept a
+    ``backend`` keyword and stamped into each measurement's ``extra``.
+    """
+    takes_backend = "backend" in inspect.signature(runner).parameters
     results: List[Measurement] = []
     for kind in systems:
         for ratio in ratios:
-            measurement = runner(kind, ratio)
+            if takes_backend:
+                measurement = runner(kind, ratio, backend=backend)
+            else:
+                measurement = runner(kind, ratio)
             measurement.system = kind
             measurement.workload = workload_name
             measurement.ratio = ratio
+            measurement.extra.setdefault("backend", backend_label(backend))
             results.append(measurement)
     return results
 

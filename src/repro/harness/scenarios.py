@@ -1,0 +1,212 @@
+"""Multi-tenant scenario presets for the tenancy scheduler.
+
+Each preset enrolls a small fleet of tenant (system, workload) pairs into
+a :class:`repro.sim.tenancy.ComputeCluster` sharing one clock and one
+memory backend. Workload factories follow the tenancy convention: given
+the booted system they return a generator, and every ``next()`` performs
+one operation against far memory (populate a chunk, answer a GET, scan a
+stripe), advancing the shared clock.
+
+Everything here is deterministic: seeded RNGs, fixed sizes, insertion-
+order scheduling — the same preset always reaches the same final merged
+metrics digest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.common.units import KIB, MIB
+from repro.core.spec import BackendSpec, SystemSpec
+from repro.sim.tenancy import ComputeCluster, WorkloadFactory
+
+#: name -> (description, builder) for every preset scenario.
+ScenarioBuilder = Callable[..., ComputeCluster]
+
+
+# -- tenant workload factories ----------------------------------------------
+
+def kmeans_tenant(n_points: int = 32768, dims: int = 4, iters: int = 2,
+                  k: int = 4, seed: int = 11,
+                  chunk_points: int = 512) -> WorkloadFactory:
+    """A k-means style tenant: populate a far-memory point set, then run
+    Lloyd iterations as chunked scans (one op per chunk)."""
+
+    def factory(system) -> Iterator[str]:
+        from repro.apps.views import PagedArray
+
+        def gen() -> Iterator[str]:
+            rng = np.random.default_rng(seed)
+            points = PagedArray(system, n_points * dims, dtype=np.float64,
+                                name="kmeans.points")
+            centers = rng.standard_normal((k, dims))
+            for start, stop in points.chunks(chunk_points * dims):
+                points.store(start, rng.standard_normal(stop - start))
+                yield "populate"
+            for _ in range(iters):
+                sums = np.zeros((k, dims))
+                counts = np.zeros(k)
+                for start, stop in points.chunks(chunk_points * dims):
+                    chunk = points.load(start, stop).reshape(-1, dims)
+                    dist2 = ((chunk[:, None, :] - centers[None, :, :]) ** 2
+                             ).sum(axis=2)
+                    assign = dist2.argmin(axis=1)
+                    for centroid in range(k):
+                        mask = assign == centroid
+                        sums[centroid] += chunk[mask].sum(axis=0)
+                        counts[centroid] += int(mask.sum())
+                    yield "assign"
+                nonzero = counts > 0
+                centers[nonzero] = sums[nonzero] / counts[nonzero, None]
+                yield "update"
+        return gen()
+    return factory
+
+
+def redis_get_tenant(n_keys: int = 600, value_bytes: int = 768,
+                     n_queries: int = 1200, seed: int = 21,
+                     arena_bytes: int = 4 * MIB) -> WorkloadFactory:
+    """A redis tenant: SET a keyspace through the mimalloc arena, then
+    issue random verified GETs (one op per request)."""
+
+    def factory(system) -> Iterator[str]:
+        from repro.alloc.mimalloc import Mimalloc
+        from repro.apps.redis.server import RedisServer
+
+        def gen() -> Iterator[str]:
+            server = RedisServer(system, Mimalloc(system, arena_bytes))
+            rng = random.Random(seed)
+            expected: Dict[bytes, bytes] = {}
+            for i in range(n_keys):
+                key = b"key:%d" % i
+                value = bytes(rng.getrandbits(8) for _ in range(value_bytes))
+                server.set(key, value)
+                expected[key] = value[:8]
+                yield "set"
+            qrng = random.Random(seed + 1)
+            for _ in range(n_queries):
+                key = b"key:%d" % qrng.randrange(n_keys)
+                value = server.get(key)
+                if value is None or value[:8] != expected[key]:
+                    raise AssertionError(
+                        f"GET {key!r} returned corrupted value")
+                yield "get"
+        return gen()
+    return factory
+
+
+def seqread_tenant(nbytes: int = 4 * MIB, passes: int = 2,
+                   chunk_bytes: int = 64 * KIB) -> WorkloadFactory:
+    """A streaming tenant: fill a buffer, then re-read it sequentially
+    (one op per chunk) — steady backend pressure for co-tenants."""
+
+    def factory(system) -> Iterator[str]:
+        from repro.apps.views import PagedBytes
+
+        def gen() -> Iterator[str]:
+            buf = PagedBytes(system, nbytes, name="seqread.buf")
+            for start, stop in buf.chunks(chunk_bytes):
+                pattern = bytes((start // chunk_bytes + j) & 0xFF
+                                for j in range(min(64, stop - start)))
+                buf.write(start, pattern)
+                yield "fill"
+            for _ in range(passes):
+                for start, stop in buf.chunks(chunk_bytes):
+                    buf.read(start, stop - start)
+                    yield "scan"
+        return gen()
+    return factory
+
+
+# -- preset scenarios --------------------------------------------------------
+
+def _spec(kind: str, local_bytes: int) -> SystemSpec:
+    return SystemSpec(kind=kind, local_mem_bytes=local_bytes)
+
+
+def kmeans_redis(backend: BackendSpec = "sharded:2",
+                 remote_mem_bytes: int = 64 * MIB,
+                 quantum_us: float = 100.0,
+                 kind: str = "dilos-readahead") -> ComputeCluster:
+    """The paper-style pairing: an analytics scan and a latency-sensitive
+    key-value server contending for one sharded pool. Local budgets sit
+    well under both working sets, so each tenant faults and evicts into
+    the shared backend while the other runs."""
+    cluster = ComputeCluster(backend=backend,
+                             remote_mem_bytes=remote_mem_bytes,
+                             quantum_us=quantum_us)
+    cluster.add_tenant("kmeans", _spec(kind, 256 * KIB), kmeans_tenant())
+    cluster.add_tenant("redis", _spec(kind, 256 * KIB), redis_get_tenant())
+    return cluster
+
+
+def stream_duo(backend: BackendSpec = "replicated:2",
+               remote_mem_bytes: int = 64 * MIB,
+               quantum_us: float = 250.0,
+               kind: str = "dilos-readahead") -> ComputeCluster:
+    """Two identical streamers — the fairness smoke test: Jain's index
+    should sit near 1.0."""
+    cluster = ComputeCluster(backend=backend,
+                             remote_mem_bytes=remote_mem_bytes,
+                             quantum_us=quantum_us)
+    cluster.add_tenant("stream_a", _spec(kind, 256 * KIB), seqread_tenant())
+    cluster.add_tenant("stream_b", _spec(kind, 256 * KIB), seqread_tenant())
+    return cluster
+
+
+def mixed_trio(backend: BackendSpec = "sharded:2",
+               remote_mem_bytes: int = 96 * MIB,
+               quantum_us: float = 500.0,
+               kind: str = "dilos-readahead") -> ComputeCluster:
+    """Analytics + key-value + streaming, three kernels of the same kind
+    on one pool — the full contention story."""
+    cluster = ComputeCluster(backend=backend,
+                             remote_mem_bytes=remote_mem_bytes,
+                             quantum_us=quantum_us)
+    cluster.add_tenant("kmeans", _spec(kind, 512 * KIB), kmeans_tenant())
+    cluster.add_tenant("redis", _spec(kind, 512 * KIB), redis_get_tenant())
+    cluster.add_tenant("stream", _spec(kind, 256 * KIB), seqread_tenant())
+    return cluster
+
+
+SCENARIOS: Dict[str, Tuple[str, ScenarioBuilder]] = {
+    "kmeans+redis": ("k-means scan + redis GETs on a shared pool",
+                     kmeans_redis),
+    "stream-duo": ("two identical streamers (fairness smoke)", stream_duo),
+    "mixed-trio": ("k-means + redis + streamer on one pool", mixed_trio),
+}
+
+
+def build_scenario(name: str, backend: Optional[BackendSpec] = None,
+                   quantum_us: Optional[float] = None,
+                   kind: Optional[str] = None) -> ComputeCluster:
+    """Build a preset by name, optionally overriding the backend spec,
+    scheduling quantum, or kernel kind."""
+    try:
+        _, builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"pick from {sorted(SCENARIOS)}") from None
+    kwargs = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    if quantum_us is not None:
+        kwargs["quantum_us"] = quantum_us
+    if kind is not None:
+        kwargs["kind"] = kind
+    return builder(**kwargs)
+
+
+__all__ = [
+    "SCENARIOS",
+    "build_scenario",
+    "kmeans_redis",
+    "kmeans_tenant",
+    "mixed_trio",
+    "redis_get_tenant",
+    "seqread_tenant",
+    "stream_duo",
+]

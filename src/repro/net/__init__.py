@@ -7,6 +7,8 @@ from repro.net.faults import (
     RetryPolicy,
     TransportError,
     checksum,
+    coerce_fault_plan,
+    coerce_retry_policy,
 )
 from repro.net.latency import DEFAULT_LATENCY, LatencyModel, cycles_to_us, CPU_GHZ
 from repro.net.qp import Completion, NetStats, QueuePair
@@ -26,5 +28,7 @@ __all__ = [
     "RetryPolicy",
     "TransportError",
     "checksum",
+    "coerce_fault_plan",
+    "coerce_retry_policy",
     "cycles_to_us",
 ]

@@ -273,6 +273,30 @@ class FaultPlan:
         return bytes(damaged)
 
 
+def coerce_fault_plan(
+        value: Union[None, str, "FaultPlan"]) -> Optional["FaultPlan"]:
+    """Normalize a ``net_faults`` config knob to a typed plan, once.
+
+    The one shared parser for every kernel config: ``None`` stays ``None``
+    (perfect wire), a ready :class:`FaultPlan` passes through, and a spec
+    string such as ``"drop=0.01,corrupt=0.005,seed=7"`` is parsed by
+    :meth:`FaultPlan.from_spec`. Config ``__post_init__`` hooks call this
+    so a plan is parsed exactly once, at config construction, and the
+    ``net_faults`` field carries a real ``Optional[FaultPlan]`` type
+    everywhere downstream.
+    """
+    return FaultPlan.coerce(value)
+
+
+def coerce_retry_policy(
+        value: Union[None, "RetryPolicy"]) -> Optional["RetryPolicy"]:
+    """Normalize a ``net_retry`` config knob: ``None`` (use the transport
+    defaults when a plan is active) or a ready :class:`RetryPolicy`."""
+    if value is None or isinstance(value, RetryPolicy):
+        return value
+    raise TypeError(f"cannot build a RetryPolicy from {value!r}")
+
+
 class RetryPolicy:
     """Timeout, capped-exponential-backoff, and failover parameters.
 

@@ -1,5 +1,15 @@
 """Simulation utilities beyond the core machine model."""
 
+from repro.sim.tenancy import ComputeCluster, Tenant
 from repro.sim.workers import Op, Workers, cpu, read, touch, write
 
-__all__ = ["Op", "Workers", "cpu", "read", "touch", "write"]
+__all__ = [
+    "ComputeCluster",
+    "Op",
+    "Tenant",
+    "Workers",
+    "cpu",
+    "read",
+    "touch",
+    "write",
+]

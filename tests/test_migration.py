@@ -7,7 +7,8 @@ import pytest
 from repro.common.units import MIB, PAGE_SIZE
 from repro.core import DilosConfig, DilosSystem
 from repro.core.migration import checkpoint, restore
-from repro.mem.cluster import ReplicatedMemory
+from repro.core.spec import make_backend
+from repro.mem.cluster import ReplicatedMemory, ShardedMemory
 from repro.mem.remote import MemoryNode
 
 
@@ -106,6 +107,57 @@ class TestRestore:
         nodes[0].fail()  # the new primary dies right after migration
         for i in range(0, pages, 11):
             assert target.memory.read(region.base + i * PAGE_SIZE, 64) == \
+                pattern(i)
+
+    def test_restore_onto_sharded_cluster(self):
+        """Migrate from a single memory node onto a sharded pool: pages
+        land remote-first striped across shards, the cache starts cold,
+        warmup faults demand-page, and every byte survives."""
+        source = make_system(local_mib=1)
+        region, pages = populate(source)
+        image = checkpoint(source)
+
+        backend = make_backend("sharded:2", 32 * MIB)
+        assert isinstance(backend, ShardedMemory)
+        target = restore(image, DilosConfig(local_mem_bytes=1 * MIB,
+                                            remote_mem_bytes=32 * MIB),
+                         memory_backend=backend)
+
+        # Remote-first landing: nothing resident, image striped over both
+        # shards (round-robin slot allocation touches every member).
+        assert target.frames.used_frames == 0
+        assert backend.total_slots - backend.free_slots == pages
+        for node in backend.nodes:
+            assert node.free_slots < node.total_slots, \
+                f"shard {node.name} received no migrated pages"
+
+        # Warmup is real demand paging on the new backend.
+        faults_before = target.metrics()["major_faults"]
+        assert target.memory.read(region.base, 64) == pattern(0)
+        assert target.metrics()["major_faults"] > faults_before
+
+        # Byte-exact contents across the whole image.
+        for i in range(pages):
+            got = target.memory.read(region.base + i * PAGE_SIZE, 64)
+            assert got == pattern(i), f"page {i} corrupted by migration"
+
+    def test_restore_sharded_then_parity_roundtrip(self):
+        """A second hop (sharded -> parity) keeps contents intact and the
+        parity backend can reconstruct after a member failure."""
+        source = make_system(local_mib=1)
+        region, pages = populate(source, mib=2)
+        first = restore(checkpoint(source),
+                        DilosConfig(local_mem_bytes=1 * MIB,
+                                    remote_mem_bytes=32 * MIB),
+                        memory_backend=make_backend("sharded:2", 32 * MIB))
+        parity = make_backend("parity:2+1", 32 * MIB)
+        second = restore(checkpoint(first),
+                         DilosConfig(local_mem_bytes=1 * MIB,
+                                     remote_mem_bytes=32 * MIB),
+                         memory_backend=parity)
+        parity.data_nodes[0].fail()  # XOR reconstruction path
+        for i in range(0, pages, 5):
+            assert second.memory.read(region.base + i * PAGE_SIZE, 64) == \
                 pattern(i)
 
     def test_target_can_keep_working(self):
