@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""End-to-end repair smoke: run the node-rejoin lifecycle demo
+(`repro.harness.scenarios.repair_demo`) on both redundant backends and
+check the acceptance properties of the repair subsystem:
+
+* degraded writes are journaled while a member is down
+  (``stale_after_degraded > 0``) and the resilver drains the journal
+  (``repair.pages_resilvered`` matches, ``repair.nodes_promoted == 1``);
+* the scrubber detects and repairs the injected at-rest divergence
+  (``scrub.mismatches == scrub.repaired == 1``, nothing quarantined);
+* after a *second* (different) member failure every byte reads back
+  correctly — the demo itself raises on any stale byte;
+* the run is **byte-identical across two invocations** — phase timings,
+  counters, and the metrics digest all match.
+
+Importable (``main()`` returns 0 on success, raising on any failure) so
+the test suite runs the exact path a user follows; runnable standalone:
+
+    PYTHONPATH=src python scripts/repair_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.scenarios import repair_demo
+
+BACKENDS = ("replicated:2", "parity:3+1")
+
+
+def run_backend(backend: str):
+    result = repair_demo(backend=backend)
+    counters = result["counters"]
+    if result["stale_after_degraded"] <= 0:
+        raise AssertionError(f"{backend}: no writes were journaled while "
+                             "the member was down — smoke is vacuous")
+    if counters["repair.pages_resilvered"] != result["stale_after_degraded"]:
+        raise AssertionError(
+            f"{backend}: resilvered {counters['repair.pages_resilvered']} "
+            f"pages but {result['stale_after_degraded']} were journaled")
+    if counters["repair.nodes_promoted"] != 1:
+        raise AssertionError(f"{backend}: rejoined member was never "
+                             "promoted back to full service")
+    if counters["scrub.mismatches"] != 1 or counters["scrub.repaired"] != 1:
+        raise AssertionError(
+            f"{backend}: scrubber missed the injected rot "
+            f"(mismatches={counters['scrub.mismatches']}, "
+            f"repaired={counters['scrub.repaired']})")
+    if counters["scrub.quarantined"] != 0:
+        raise AssertionError(f"{backend}: scrub quarantined "
+                             f"{counters['scrub.quarantined']} pages")
+    return result
+
+
+def main() -> int:
+    for backend in BACKENDS:
+        first = run_backend(backend)
+        second = run_backend(backend)
+        if (first["digest"] != second["digest"]
+                or first["counters"] != second["counters"]
+                or first["time_us"] != second["time_us"]):
+            raise AssertionError(
+                f"{backend}: same-config runs diverged:\n"
+                f"  {first['digest']} @ {first['time_us']}\n"
+                f"  {second['digest']} @ {second['time_us']}")
+        print(f"{backend}: OK — {first['stale_after_degraded']} pages "
+              f"journaled, resilvered in {first['resilver_us'] / 1000:.2f} "
+              f"ms, rot scrubbed in {first['scrub_us'] / 1000:.2f} ms, "
+              f"{first['verified_pages']} pages verified after the second "
+              "failure, deterministic")
+    print("repair smoke OK on both redundant backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

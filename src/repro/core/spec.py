@@ -37,6 +37,7 @@ from repro.mem.cluster import (
     ShardedMemory,
 )
 from repro.mem.remote import MemoryNode
+from repro.mem.repair import RepairManager, RepairPolicy, coerce_repair_policy
 from repro.net.faults import (
     FaultPlan,
     RetryPolicy,
@@ -44,6 +45,7 @@ from repro.net.faults import (
     coerce_retry_policy,
 )
 from repro.obs import Observability
+from repro.obs.tracer import NULL_TRACER
 
 #: A backend is anything with the :class:`~repro.mem.remote.MemoryNode`
 #: data/slot surface: ``alloc_slot``/``free_slot``/``slot_offset`` and
@@ -239,12 +241,18 @@ class SystemSpec:
     net_faults: Optional[FaultPlan] = None
     #: Retry policy for the reliable transport.
     net_retry: Optional[RetryPolicy] = None
+    #: Online repair policy (resilver/scrub pacing) for cluster
+    #: backends: a :class:`~repro.mem.repair.RepairPolicy`, a spec
+    #: string (``"resilver_period=200,scrub_period=5000"``), or ``None``
+    #: (no manager; ``rejoin`` falls back to the synchronous resilver).
+    repair: Optional[RepairPolicy] = None
     #: Extra keyword arguments for the kernel's config dataclass.
     overrides: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.net_faults = coerce_fault_plan(self.net_faults)
         self.net_retry = coerce_retry_policy(self.net_retry)
+        self.repair = coerce_repair_policy(self.repair)
 
     # -- derived views -------------------------------------------------------
 
@@ -277,7 +285,21 @@ class SystemSpec:
             backend = None  # kernels build their default single node
         else:
             backend = make_backend(self.backend, self.remote_mem_bytes)
-        return builder(self, backend)
+        system = builder(self, backend)
+        if self.repair is not None:
+            if backend is None or \
+                    not callable(getattr(backend, "attach_repair", None)):
+                raise ValueError(
+                    "repair= needs a cluster backend (replicated/parity/"
+                    f"sharded), not {backend_label(self.backend)!r}")
+            if getattr(backend, "repair", None) is None:
+                # Shared backends keep the manager of the first tenant
+                # that booted with a repair policy.
+                tracer = self.obs.tracer if self.obs is not None \
+                    else getattr(system, "tracer", NULL_TRACER)
+                RepairManager(backend, system.clock, policy=self.repair,
+                              tracer=tracer)
+        return system
 
 
 # -- the built-in kernels ----------------------------------------------------

@@ -73,13 +73,17 @@ def make_system(kind: str, local_bytes: int,
     dataclass; notably ``net_faults`` (a :class:`repro.net.FaultPlan`
     or a spec string such as ``"drop=0.01,corrupt=0.005,seed=7"``) and
     ``net_retry`` route all remote IO through the reliable transport —
-    the same knob every kind understands.
+    the same knob every kind understands. ``repair`` (a
+    :class:`repro.mem.repair.RepairPolicy` or a spec string such as
+    ``"resilver_period=200,scrub_period=5000"``) attaches the online
+    resilver/scrub manager to a cluster backend.
     """
     spec = SystemSpec(kind=kind, local_mem_bytes=local_bytes,
                       remote_mem_bytes=remote_bytes, backend=backend,
                       obs=obs, clock=clock,
                       net_faults=overrides.pop("net_faults", None),
                       net_retry=overrides.pop("net_retry", None),
+                      repair=overrides.pop("repair", None),
                       overrides=overrides)
     return spec.boot()
 

@@ -15,12 +15,13 @@ metrics digest.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.common.units import KIB, MIB
-from repro.core.spec import BackendSpec, SystemSpec
+from repro.common.units import KIB, MIB, PAGE_SIZE
+from repro.core.spec import BackendSpec, SystemSpec, make_backend
+from repro.mem.cluster import ParityStripedMemory, ReplicatedMemory
 from repro.sim.tenancy import ComputeCluster, WorkloadFactory
 
 #: name -> (description, builder) for every preset scenario.
@@ -172,12 +173,125 @@ def mixed_trio(backend: BackendSpec = "sharded:2",
     return cluster
 
 
+def repair_demo(backend: str = "replicated:2",
+                kind: str = "dilos-readahead",
+                region_bytes: int = 4 * MIB,
+                local_bytes: int = 1 * MIB,
+                repair: str = ("resilver_period=200,resilver_batch=32,"
+                               "scrub_period=1000,scrub_batch=128"),
+                max_advance_us: float = 2_000_000.0) -> Dict[str, Any]:
+    """The end-to-end rejoin/repair story behind ``python -m repro repair``.
+
+    One DiLOS computing node on a redundant cluster backend walks the
+    full failure lifecycle on the simulated clock:
+
+    1. write pattern A over the region and let the cleaner drain it;
+    2. kill one member, overwrite with pattern B — every missed write
+       is journaled as stale for the dead member;
+    3. ``rejoin`` the member: it comes back *syncing* and the paced
+       background resilver replays the journal on its own QP;
+    4. corrupt one page at rest and let the periodic scrubber detect
+       and repair the divergence;
+    5. kill a *different* member and verify every byte of pattern B —
+       the read that silently returned stale data before this subsystem
+       existed.
+
+    Returns a result dict (phase facts, canonical counters, metrics
+    digest); raises ``AssertionError`` if any byte reads back wrong.
+    """
+    cluster = make_backend(backend, 2 * region_bytes)
+    if isinstance(cluster, ReplicatedMemory):
+        victim = cluster.mirrors[0]
+        second = cluster.primary
+        rot_member, rot_node = len(cluster.mirrors), cluster.mirrors[-1]
+    elif isinstance(cluster, ParityStripedMemory):
+        victim = cluster.data_nodes[0]
+        second = cluster.data_nodes[1]
+        rot_member, rot_node = cluster.k, cluster.parity_node
+    else:
+        raise ValueError(
+            f"repair demo needs a redundant backend, not {backend!r}")
+
+    spec = SystemSpec(kind=kind, local_mem_bytes=local_bytes,
+                      remote_mem_bytes=region_bytes, backend=cluster,
+                      repair=repair)
+    system = spec.boot()
+    clock = system.clock
+    region = system.mmap(region_bytes, name="repair.ws")
+    pages = region.size // PAGE_SIZE
+
+    def fill(tag: int) -> None:
+        for i in range(pages):
+            system.memory.write(region.base + i * PAGE_SIZE,
+                                bytes([(i * 7 + tag) % 251]) * 48)
+
+    def verify() -> None:
+        for i in range(pages):
+            got = system.memory.read(region.base + i * PAGE_SIZE, 48)
+            want = bytes([(i * 7 + 1) % 251]) * 48
+            assert got == want, \
+                f"page {i} corrupted after rejoin: {got[:4]!r} != {want[:4]!r}"
+
+    def advance_until(predicate, step_us: float = 1_000.0) -> float:
+        start = clock.now
+        while not predicate():
+            if clock.now - start > max_advance_us:
+                raise AssertionError("repair demo timed out waiting for "
+                                     "the resilver/scrubber")
+            clock.advance(step_us)
+        return clock.now - start
+
+    # 1. pattern A everywhere, cleaned to every member.
+    fill(0)
+    clock.advance(5_000)
+    # 2. degraded writes: pattern B while the victim is down.
+    victim.fail()
+    fill(1)
+    clock.advance(5_000)  # cleaner drains; missed writes hit the journal
+    stale_after_degraded = cluster.stale_slots
+    assert stale_after_degraded > 0, "no writes were journaled"
+    # 3. rejoin: syncing until the paced resilver drains the journal.
+    cluster.rejoin(victim)
+    resilver_us = advance_until(lambda: not cluster.degraded)
+    # 4. at-rest rot: flip one page on a non-authoritative member and let
+    # the scrubber find it (it cycles the whole extent once per pass).
+    rot_offset = 0
+    rotted = bytes(b ^ 0xFF for b in rot_node.read_bytes(rot_offset, 64))
+    rot_node.write_bytes(rot_offset, rotted)
+    registry = cluster.registry
+    scrub_us = advance_until(lambda: registry.value("scrub.repaired") > 0)
+    assert cluster.journal.dirty_count(rot_member) == 0
+    # 5. a *different* member dies; every byte must still be pattern B.
+    second.fail()
+    verify()
+    snap = system.metrics()
+    merged = cluster.metrics()
+    interesting = {key: value for key, value in merged.counters.items()
+                   if key.startswith(("cluster.", "repair.", "scrub."))}
+    return {
+        "backend": backend,
+        "kind": kind,
+        "pages": pages,
+        "stale_after_degraded": stale_after_degraded,
+        "resilver_us": resilver_us,
+        "scrub_us": scrub_us,
+        "verified_pages": pages,
+        "counters": interesting,
+        "digest": snap.digest(),
+        "time_us": clock.now,
+    }
+
+
 SCENARIOS: Dict[str, Tuple[str, ScenarioBuilder]] = {
     "kmeans+redis": ("k-means scan + redis GETs on a shared pool",
                      kmeans_redis),
     "stream-duo": ("two identical streamers (fairness smoke)", stream_duo),
     "mixed-trio": ("k-means + redis + streamer on one pool", mixed_trio),
 }
+
+#: Backends ``repair_demo`` accepts (redundant ones only).
+REPAIR_DEMO_BACKENDS = ("replicated:2", "replicated:3", "parity:2+1",
+                        "parity:3+1")
 
 
 def build_scenario(name: str, backend: Optional[BackendSpec] = None,
@@ -201,8 +315,10 @@ def build_scenario(name: str, backend: Optional[BackendSpec] = None,
 
 
 __all__ = [
+    "REPAIR_DEMO_BACKENDS",
     "SCENARIOS",
     "build_scenario",
+    "repair_demo",
     "kmeans_redis",
     "kmeans_tenant",
     "mixed_trio",

@@ -4,6 +4,7 @@ from repro.mem.addrspace import AddressSpace, Region
 from repro.mem.frames import FramePool
 from repro.mem.page_table import PageTable
 from repro.mem.remote import MemoryNode
+from repro.mem.repair import RepairJournal, RepairManager, RepairPolicy
 from repro.mem.tlb import Tlb
 from repro.mem.vm import VirtualMemory
 
@@ -12,6 +13,9 @@ __all__ = [
     "FramePool",
     "MemoryNode",
     "PageTable",
+    "RepairJournal",
+    "RepairManager",
+    "RepairPolicy",
     "Region",
     "Tlb",
     "VirtualMemory",

@@ -17,20 +17,37 @@ unchanged on a cluster: pass the backend to ``DilosSystem`` /
   node; a failed data node's pages are reconstructed by XOR across the
   surviving stripe (the erasure-coding approach at its simplest).
 
-Failure is injected with ``MemoryNode.fail()``; the backends count
-failovers, degraded reads and reconstruction traffic.
+Failure is injected with ``MemoryNode.fail()``. Because the redundant
+backends keep accepting writes while a member is down, a member that
+merely calls ``MemoryNode.recover()`` comes back holding **stale
+bytes**. The backends therefore journal every range dirtied while a
+member is unavailable (:class:`~repro.mem.repair.RepairJournal`) and
+expose a :meth:`_ClusterBackend.rejoin` entry point: the member returns
+in a *syncing* state — served only for ranges proven clean — until the
+journal drains, either synchronously (no repair manager) or by the
+paced background resilver of :class:`~repro.mem.repair.RepairManager`.
+The same hooks (:meth:`_ClusterBackend.resilver_page`,
+:meth:`_ClusterBackend.scrub_page`) back the periodic scrubber.
+
+Counters live in a per-backend :class:`~repro.obs.registry.MetricsRegistry`
+under canonical ``cluster.*`` names; the historical ``backend.counters``
+attribute remains as a :class:`~repro.obs.registry.LegacyCounters` view
+(``counters.get("failover_reads")`` keeps working).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Set, Union
 
 import numpy as np
 
 from repro.common.errors import OutOfMemoryError
-from repro.common.stats import Counter
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
 from repro.mem.remote import MemoryNode, NodeFailedError
+from repro.mem.repair import RepairJournal, ScrubReport
+from repro.obs.names import CLUSTER_ALIASES
+from repro.obs.registry import LegacyCounters, MetricsRegistry
+from repro.obs.snapshot import MetricsSnapshot
 
 
 def _check_nodes(nodes: Sequence[MemoryNode], minimum: int) -> None:
@@ -40,13 +57,165 @@ def _check_nodes(nodes: Sequence[MemoryNode], minimum: int) -> None:
         raise ValueError("all nodes in a cluster must have equal capacity")
 
 
-class ShardedMemory:
-    """Pages striped across ``nodes``: global page g lives on node g % n."""
+class _ClusterBackend:
+    """Shared journal/metrics/rejoin machinery of the three backends.
+
+    Subclasses assign their node topology first, then call
+    ``super().__init__()``; members are integer keys into
+    :meth:`_member_nodes` (for :class:`ParityStripedMemory`, ``k`` is
+    the parity node).
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.registry.register_aliases(CLUSTER_ALIASES)
+        for canonical in sorted(set(CLUSTER_ALIASES.values())):
+            self.registry.counter(canonical)
+        #: Historical flat-counter surface (``counters.get(...)``).
+        self.counters = LegacyCounters(self.registry, namespace="cluster")
+        #: Ranges dirtied while a member was down or stale.
+        self.journal = RepairJournal()
+        #: Members back up but not yet proven clean everywhere.
+        self._syncing: Set[int] = set()
+        #: The attached :class:`~repro.mem.repair.RepairManager`, if any.
+        self.repair = None
+        self.registry.gauge("cluster.stale_slots",
+                            lambda: float(self.journal.total_dirty()))
+        self.registry.gauge("cluster.degraded",
+                            lambda: float(self.degraded))
+        self.registry.gauge("cluster.nodes_down",
+                            lambda: float(sum(n.failed
+                                              for n in self._member_nodes())))
+        self.registry.gauge("repair.nodes_syncing",
+                            lambda: float(len(self._syncing)))
+        # A syncing member that dies again is simply down; it re-enters
+        # syncing through the next rejoin(). (The journal is kept.)
+        for member, node in enumerate(self._member_nodes()):
+            node.add_failure_listener(
+                lambda m=member: self._syncing.discard(m))
+
+    # -- member topology (subclass contract) ---------------------------------
+
+    def _member_nodes(self) -> List[MemoryNode]:
+        """Every member node, indexed by member key."""
+        raise NotImplementedError
+
+    # -- redundancy state ----------------------------------------------------
+
+    @property
+    def stale_slots(self) -> int:
+        """Page slots whose content is stale on at least one member —
+        the amount of redundancy currently lost to journaled writes."""
+        return self.journal.total_dirty()
+
+    @property
+    def degraded(self) -> bool:
+        """True while full redundancy is not available: a member is
+        down, still syncing, or holds journaled stale ranges."""
+        return (bool(self._syncing) or self.journal.total_dirty() > 0
+                or any(node.failed for node in self._member_nodes()))
+
+    def syncing_members(self) -> List[int]:
+        return sorted(self._syncing)
+
+    def metrics(self) -> MetricsSnapshot:
+        """This backend's own snapshot (``cluster.*``/``repair.*``/...)."""
+        return self.registry.snapshot(system=type(self).__name__)
+
+    # -- rejoin / repair -----------------------------------------------------
+
+    def attach_repair(self, manager) -> None:
+        if self.repair is not None and self.repair is not manager:
+            raise ValueError("a RepairManager is already attached")
+        self.repair = manager
+
+    def _resolve_member(self, node: Union[MemoryNode, int]) -> int:
+        if isinstance(node, int):
+            if not 0 <= node < len(self._member_nodes()):
+                raise ValueError(f"no cluster member {node}")
+            return node
+        for member, candidate in enumerate(self._member_nodes()):
+            if candidate is node:
+                return member
+        raise ValueError(f"node {node.name!r} is not a member of this cluster")
+
+    def rejoin(self, node: Union[MemoryNode, int]) -> bool:
+        """Bring a failed member back *correctly*: recover it, and if any
+        of its content went stale while it was away, keep it in the
+        syncing state (reads avoid its journaled ranges) until the
+        resilver has replayed every dirty page. Returns True when the
+        member is already back in full service, False while syncing
+        continues in the background.
+        """
+        member = self._resolve_member(node)
+        self._member_nodes()[member].recover()
+        self.counters.add("rejoins")
+        if self.journal.dirty_count(member) == 0:
+            return True
+        self._syncing.add(member)
+        if self.repair is not None:
+            self.repair.notify_rejoin(member)
+            return False
+        return self._resilver_member_now(member)
+
+    def promote(self, member: int) -> None:
+        """A syncing member drained its journal: full service again."""
+        if member in self._syncing:
+            self._syncing.discard(member)
+            self.registry.add("repair.nodes_promoted")
+
+    def _resilver_member_now(self, member: int) -> bool:
+        """Synchronous fallback resilver (no manager attached): replay
+        the whole journal in zero simulated time. Returns False when no
+        clean source is available yet (the member stays syncing and the
+        journal keeps protecting reads)."""
+        while True:
+            pages = self.journal.dirty_pages(member)
+            if not pages:
+                self.promote(member)
+                return True
+            progressed = False
+            for page in pages:
+                if self.resilver_page(member, page) >= 0:
+                    progressed = True
+            if not progressed:
+                return False
+
+    def resilver_page(self, member: int, page: int) -> int:
+        """Rebuild one journaled page of ``member`` from clean peers.
+
+        Returns the wire bytes *read* to rebuild it (the resilver's
+        charge), or -1 when no clean source is currently available (the
+        page stays journaled and is retried later)."""
+        raise NotImplementedError
+
+    # -- scrub (subclass contract) -------------------------------------------
+
+    @property
+    def scrub_extent(self) -> int:
+        """Rows the scrubber cycles through (0 = nothing to verify)."""
+        return 0
+
+    def scrub_page(self, row: int) -> ScrubReport:
+        """Verify one row of at-rest redundancy; repair or quarantine."""
+        raise NotImplementedError
+
+
+class ShardedMemory(_ClusterBackend):
+    """Pages striped across ``nodes``: global page g lives on node g % n.
+
+    No redundancy: a dead shard's pages are simply unavailable, so there
+    is nothing to journal and nothing to resilver — ``rejoin`` is
+    ``recover`` plus bookkeeping, and the scrubber has no invariant to
+    check."""
 
     def __init__(self, nodes: Sequence[MemoryNode]) -> None:
         _check_nodes(nodes, 2)
         self.nodes: List[MemoryNode] = list(nodes)
-        self.counters = Counter()
+        super().__init__()
+
+    def _member_nodes(self) -> List[MemoryNode]:
+        return self.nodes
 
     @property
     def capacity(self) -> int:
@@ -108,15 +277,26 @@ class ShardedMemory:
             offset += take
             cursor += take
 
+    def resilver_page(self, member: int, page: int) -> int:
+        return -1  # no redundant copy to rebuild from
 
-class ReplicatedMemory:
-    """Primary/mirror replication: writes fan out, reads fail over."""
+
+class ReplicatedMemory(_ClusterBackend):
+    """Primary/mirror replication: writes fan out, reads fail over.
+
+    While a replica is down its missed writes are journaled; after
+    ``rejoin`` the replica serves only ranges the journal proves clean,
+    and the resilver copies each stale page from the first clean live
+    replica until the journal drains."""
 
     def __init__(self, nodes: Sequence[MemoryNode]) -> None:
         _check_nodes(nodes, 2)
         self.primary = nodes[0]
         self.mirrors: List[MemoryNode] = list(nodes[1:])
-        self.counters = Counter()
+        super().__init__()
+
+    def _member_nodes(self) -> List[MemoryNode]:
+        return self._replicas()
 
     @property
     def capacity(self) -> int:
@@ -145,41 +325,124 @@ class ReplicatedMemory:
         return [self.primary] + self.mirrors
 
     def read_bytes(self, offset: int, size: int) -> bytes:
-        for replica in self._replicas():
+        for member, replica in enumerate(self._replicas()):
+            if replica.failed:
+                self.counters.add("failover_reads")
+                continue
+            if self.journal.is_dirty(member, offset, size):
+                # The replica is up but this range went stale while it
+                # was away and the resilver has not replayed it yet.
+                self.counters.add("stale_reads_avoided")
+                continue
             try:
                 data = replica.read_bytes(offset, size)
             except NodeFailedError:
                 self.counters.add("failover_reads")
                 continue
             return data
-        raise NodeFailedError("all replicas are down")
+        raise NodeFailedError("no replica holds a clean copy of this range")
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         wrote = 0
-        for replica in self._replicas():
+        missed: List[int] = []
+        for member, replica in enumerate(self._replicas()):
             try:
                 replica.write_bytes(offset, data)
                 wrote += 1
             except NodeFailedError:
                 self.counters.add("writes_skipped_dead_replica")
+                missed.append(member)
+            else:
+                # A write-through onto a stale range freshens it: pages
+                # it fully covers no longer need resilvering.
+                self.journal.clear_covered(member, offset, len(data))
         if wrote == 0:
             raise NodeFailedError("all replicas are down")
         self.counters.add("replicated_writes", wrote)
+        # Journal only when the write took effect somewhere: a failed
+        # write changed nothing, so nothing went stale.
+        for member in missed:
+            self.journal.record_range(member, offset, len(data))
+
+    def resilver_page(self, member: int, page: int) -> int:
+        replicas = self._replicas()
+        target = replicas[member]
+        if target.failed:
+            return -1
+        offset = page << PAGE_SHIFT
+        for source_member, source in enumerate(replicas):
+            if source_member == member or source.failed:
+                continue
+            if self.journal.is_dirty(source_member, offset, PAGE_SIZE):
+                continue
+            try:
+                data = source.read_bytes(offset, PAGE_SIZE)
+            except NodeFailedError:
+                continue
+            target.write_bytes(offset, data)
+            self.journal.clear_page(member, page)
+            return PAGE_SIZE
+        return -1
+
+    @property
+    def scrub_extent(self) -> int:
+        return self.primary.total_slots
+
+    def scrub_page(self, row: int) -> ScrubReport:
+        """Cross-replica agreement check for one page slot. The first
+        clean live replica is authoritative (primary-copy semantics);
+        divergent copies are rewritten from it, or journaled as
+        quarantined when the repair write fails."""
+        report = ScrubReport()
+        offset = row << PAGE_SHIFT
+        verifiable = [
+            (member, replica)
+            for member, replica in enumerate(self._replicas())
+            if not replica.failed
+            and not self.journal.is_dirty(member, offset, PAGE_SIZE)
+        ]
+        if len(verifiable) < 2:
+            return report  # nothing to compare against
+        report.members_checked = len(verifiable)
+        report.bytes_read = len(verifiable) * PAGE_SIZE
+        truth_member, truth_node = verifiable[0]
+        truth = truth_node.read_bytes(offset, PAGE_SIZE)
+        for member, replica in verifiable[1:]:
+            if replica.read_bytes(offset, PAGE_SIZE) == truth:
+                continue
+            report.mismatches += 1
+            try:
+                replica.write_bytes(offset, truth)
+                report.repaired += 1
+            except NodeFailedError:
+                self.journal.record_range(member, offset, PAGE_SIZE)
+                report.quarantined += 1
+        return report
 
 
-class ParityStripedMemory:
+class ParityStripedMemory(_ClusterBackend):
     """k data nodes + 1 parity node; XOR reconstruction on failure.
 
     Data page layout matches :class:`ShardedMemory` over the k data
     nodes; the parity node's local page r holds the XOR of every data
-    node's local page r (one stripe row).
-    """
+    node's local page r (one stripe row). Member keys 0..k-1 are the
+    data nodes and k is the parity node; journal offsets are node-local
+    (stripe rows line up across members).
+
+    A degraded write keeps the invariant *parity row = XOR of the
+    logical stripe row* — the absent member's new data is folded into
+    parity and its physical page journaled stale, so reconstruction
+    still yields the fresh bytes and a later rejoin cannot resurrect
+    the old ones."""
 
     def __init__(self, nodes: Sequence[MemoryNode]) -> None:
         _check_nodes(nodes, 3)
         self.data_nodes: List[MemoryNode] = list(nodes[:-1])
         self.parity_node = nodes[-1]
-        self.counters = Counter()
+        super().__init__()
+
+    def _member_nodes(self) -> List[MemoryNode]:
+        return self.data_nodes + [self.parity_node]
 
     @property
     def k(self) -> int:
@@ -226,12 +489,26 @@ class ParityStripedMemory:
         return np.bitwise_xor(np.frombuffer(a, np.uint8, n),
                               np.frombuffer(b, np.uint8, n)).tobytes()
 
+    def _member_clean(self, member: int, node: MemoryNode,
+                      local: int, size: int) -> bool:
+        return not node.failed and \
+            not self.journal.is_dirty(member, local, size)
+
     def _survivor_xor(self, failed_index: int, local: int, size: int) -> bytes:
-        """Reconstruct a range of a failed node from its stripe row."""
+        """Reconstruct a range of an absent/stale node from its stripe
+        row. Every source must itself be clean: XOR-ing a stale or dead
+        copy in would fabricate bytes that were never written."""
+        if not self._member_clean(self.k, self.parity_node, local, size):
+            raise NodeFailedError(
+                "cannot reconstruct: parity is down or stale for this row")
         acc = self.parity_node.read_bytes(local, size)
         for index, node in enumerate(self.data_nodes):
             if index == failed_index:
                 continue
+            if not self._member_clean(index, node, local, size):
+                raise NodeFailedError(
+                    "cannot reconstruct: a second stripe member is down "
+                    "or stale for this row")
             acc = self._xor(acc, node.read_bytes(local, size))
         self.counters.add("reconstruction_bytes", size * self.k)
         return acc
@@ -242,11 +519,17 @@ class ParityStripedMemory:
             index, local = self._route(offset)
             take = min(PAGE_SIZE - (offset & (PAGE_SIZE - 1)), size)
             node = self.data_nodes[index]
-            try:
-                parts.append(node.read_bytes(local, take))
-            except NodeFailedError:
-                self.counters.add("degraded_reads")
+            if self.journal.is_dirty(index, local, take):
+                # Up (rejoined) but stale here: reconstruct instead of
+                # serving the pre-crash bytes.
+                self.counters.add("stale_reads_avoided")
                 parts.append(self._survivor_xor(index, local, take))
+            else:
+                try:
+                    parts.append(node.read_bytes(local, take))
+                except NodeFailedError:
+                    self.counters.add("degraded_reads")
+                    parts.append(self._survivor_xor(index, local, take))
             offset += take
             size -= take
         return b"".join(parts)
@@ -259,29 +542,155 @@ class ParityStripedMemory:
                        len(data) - cursor)
             piece = data[cursor:cursor + take]
             node = self.data_nodes[index]
-            try:
-                old = node.read_bytes(local, take)
-                node.write_bytes(local, piece)
-            except NodeFailedError:
-                # Degraded write: the home node is down, so rebuild the
-                # parity from the survivors — the new data remains
-                # recoverable by XOR even though it was never stored.
-                self.counters.add("degraded_writes")
-                acc = piece
-                for other_index, other in enumerate(self.data_nodes):
-                    if other_index == index:
-                        continue
-                    acc = self._xor(acc, other.read_bytes(local, take))
-                self.parity_node.write_bytes(local, acc)
+            if node.failed:
+                self._degraded_write(index, local, piece)
+            elif self.journal.is_dirty(index, local, take):
+                self._sync_write(index, node, local, piece)
             else:
                 try:
-                    # Read-modify-write the parity: P ^= old ^ new.
-                    parity_old = self.parity_node.read_bytes(local, take)
-                    self.parity_node.write_bytes(
-                        local, self._xor(parity_old, self._xor(old, piece)))
+                    old = node.read_bytes(local, take)
+                    node.write_bytes(local, piece)
                 except NodeFailedError:
-                    # Data landed; redundancy is simply lost while the
-                    # parity node is down.
-                    self.counters.add("parity_writes_skipped")
+                    self._degraded_write(index, local, piece)
+                else:
+                    self._update_parity(local, old, piece)
             offset += take
             cursor += take
+
+    def _degraded_write(self, index: int, local: int, piece: bytes) -> None:
+        """The home node is down: fold the new data into parity so it
+        stays recoverable by XOR, and journal the home page stale. The
+        parity write happens first — if no clean survivors exist the
+        write raises and nothing (journal included) changes."""
+        take = len(piece)
+        acc = piece
+        for other_index, other in enumerate(self.data_nodes):
+            if other_index == index:
+                continue
+            if not self._member_clean(other_index, other, local, take):
+                raise NodeFailedError(
+                    "degraded write impossible: a second stripe member "
+                    "is down or stale for this row")
+            acc = self._xor(acc, other.read_bytes(local, take))
+        if not self._member_clean(self.k, self.parity_node, local, take):
+            raise NodeFailedError(
+                "degraded write impossible: parity is down or stale "
+                "for this row")
+        self.parity_node.write_bytes(local, acc)
+        self.journal.record_range(index, local, take)
+        self.counters.add("degraded_writes")
+
+    def _sync_write(self, index: int, node: MemoryNode,
+                    local: int, piece: bytes) -> None:
+        """Write onto a live-but-stale (syncing) page: store the data
+        physically and *recompute* parity for the range — the RMW
+        shortcut would fold the stale old bytes into parity. A full-page
+        write makes the page clean outright."""
+        take = len(piece)
+        for other_index, other in enumerate(self.data_nodes):
+            if other_index == index:
+                continue
+            if not self._member_clean(other_index, other, local, take):
+                raise NodeFailedError(
+                    "sync write impossible: a second stripe member is "
+                    "down or stale for this row")
+        if not self._member_clean(self.k, self.parity_node, local, take):
+            raise NodeFailedError(
+                "sync write impossible: parity is down or stale for "
+                "this row")
+        node.write_bytes(local, piece)
+        acc = piece
+        for other_index, other in enumerate(self.data_nodes):
+            if other_index != index:
+                acc = self._xor(acc, other.read_bytes(local, take))
+        self.parity_node.write_bytes(local, acc)
+        self.journal.clear_covered(index, local, take)
+        self.counters.add("sync_writes")
+
+    def _update_parity(self, local: int, old: bytes, piece: bytes) -> None:
+        parity_member = self.k
+        take = len(piece)
+        if self.parity_node.failed or \
+                self.journal.is_dirty(parity_member, local, take):
+            # Down, or up-but-stale here: an RMW against stale parity
+            # would corrupt the row further. Journal it for the
+            # resilver; redundancy is simply lost meanwhile.
+            self.journal.record_range(parity_member, local, take)
+            self.counters.add("parity_writes_skipped")
+            return
+        try:
+            # Read-modify-write the parity: P ^= old ^ new.
+            parity_old = self.parity_node.read_bytes(local, take)
+            self.parity_node.write_bytes(
+                local, self._xor(parity_old, self._xor(old, piece)))
+        except NodeFailedError:
+            self.journal.record_range(parity_member, local, take)
+            self.counters.add("parity_writes_skipped")
+
+    def resilver_page(self, member: int, page: int) -> int:
+        local = page << PAGE_SHIFT
+        target = self._member_nodes()[member]
+        if target.failed:
+            return -1
+        if member == self.k:
+            # Parity page: recompute from the full (clean) data row.
+            for index, node in enumerate(self.data_nodes):
+                if not self._member_clean(index, node, local, PAGE_SIZE):
+                    return -1
+            acc = self.data_nodes[0].read_bytes(local, PAGE_SIZE)
+            for node in self.data_nodes[1:]:
+                acc = self._xor(acc, node.read_bytes(local, PAGE_SIZE))
+        else:
+            # Data page: XOR of parity and the other (clean) data rows.
+            if not self._member_clean(self.k, self.parity_node,
+                                      local, PAGE_SIZE):
+                return -1
+            for index, node in enumerate(self.data_nodes):
+                if index != member and \
+                        not self._member_clean(index, node, local, PAGE_SIZE):
+                    return -1
+            acc = self.parity_node.read_bytes(local, PAGE_SIZE)
+            for index, node in enumerate(self.data_nodes):
+                if index != member:
+                    acc = self._xor(acc, node.read_bytes(local, PAGE_SIZE))
+        target.write_bytes(local, acc)
+        self.journal.clear_page(member, page)
+        return self.k * PAGE_SIZE
+
+    @property
+    def scrub_extent(self) -> int:
+        return self.data_nodes[0].total_slots
+
+    def scrub_page(self, row: int) -> ScrubReport:
+        """Verify the parity invariant for one stripe row. Rows with an
+        absent or stale member are skipped (the journal already knows
+        about them). On mismatch the data wins — k independent copies
+        against one — so the parity page is rewritten, or journaled as
+        quarantined if the rewrite fails."""
+        report = ScrubReport()
+        local = row << PAGE_SHIFT
+        for member, node in enumerate(self._member_nodes()):
+            if not self._member_clean(member, node, local, PAGE_SIZE):
+                return report
+        acc = self.data_nodes[0].read_bytes(local, PAGE_SIZE)
+        for node in self.data_nodes[1:]:
+            acc = self._xor(acc, node.read_bytes(local, PAGE_SIZE))
+        report.members_checked = self.k + 1
+        report.bytes_read = (self.k + 1) * PAGE_SIZE
+        if self.parity_node.read_bytes(local, PAGE_SIZE) == acc:
+            return report
+        report.mismatches = 1
+        try:
+            self.parity_node.write_bytes(local, acc)
+            report.repaired = 1
+        except NodeFailedError:
+            self.journal.record_range(self.k, local, PAGE_SIZE)
+            report.quarantined = 1
+        return report
+
+
+__all__ = [
+    "ParityStripedMemory",
+    "ReplicatedMemory",
+    "ShardedMemory",
+]

@@ -27,8 +27,8 @@ class NodeFailedError(Exception):
 class MemoryNode:
     """Remote memory pool with page-slot allocation and raw byte access."""
 
-    __slots__ = ("capacity", "name", "_store", "_free_slots", "total_slots",
-                 "_failed", "_failure_listeners")
+    __slots__ = ("capacity", "name", "_store", "_free_slots", "_slot_free",
+                 "total_slots", "_failed", "_failure_listeners")
 
     def __init__(self, capacity_bytes: int, name: str = "memnode") -> None:
         if capacity_bytes <= 0 or capacity_bytes % PAGE_SIZE:
@@ -41,6 +41,9 @@ class MemoryNode:
         self._store = np.zeros(capacity_bytes, dtype=np.uint8)
         total_slots = capacity_bytes >> PAGE_SHIFT
         self._free_slots: List[int] = list(range(total_slots - 1, -1, -1))
+        # One byte per slot (1 = free) so free_slot can reject double
+        # frees in O(1) without a Python set over 100k+ slot ids.
+        self._slot_free = bytearray(b"\x01" * total_slots)
         self.total_slots = total_slots
         self._failed = False
         self._failure_listeners: List[Callable[[], None]] = []
@@ -84,11 +87,20 @@ class MemoryNode:
         """Reserve one remote page frame; returns its remote pfn."""
         if not self._free_slots:
             raise OutOfMemoryError("memory node exhausted")
-        return self._free_slots.pop()
+        slot = self._free_slots.pop()
+        self._slot_free[slot] = 0
+        return slot
 
     def free_slot(self, remote_pfn: int) -> None:
         if not 0 <= remote_pfn < self.total_slots:
             raise ValueError(f"remote pfn {remote_pfn} out of range")
+        if self._slot_free[remote_pfn]:
+            # A double free (or a free of a never-allocated slot) would
+            # put the pfn on the free list twice and hand the same remote
+            # frame to two pages.
+            raise ValueError(
+                f"remote pfn {remote_pfn} is not allocated (double free?)")
+        self._slot_free[remote_pfn] = 1
         self._free_slots.append(remote_pfn)
 
     # An instance method so that clustered backends (repro.mem.cluster)

@@ -115,6 +115,30 @@ FASTSWAP_ALIASES: Dict[str, str] = {
     "tlb_misses": "tlb.misses",
 }
 
+#: Cluster memory backends (repro.mem.cluster): historical ad-hoc
+#: ``Counter()`` names -> canonical ``cluster.*`` names. The backends
+#: keep their ``.counters`` attribute as a :class:`LegacyCounters` view
+#: over these, so ``backend.counters.get("failover_reads")`` still works.
+CLUSTER_ALIASES: Dict[str, str] = {
+    "failover_reads": "cluster.failover_reads",
+    "replicated_writes": "cluster.replicated_writes",
+    "writes_skipped_dead_replica": "cluster.writes_skipped_dead_replica",
+    "degraded_reads": "cluster.degraded_reads",
+    "degraded_writes": "cluster.degraded_writes",
+    "reconstruction_bytes": "cluster.reconstruction_bytes",
+    "parity_writes_skipped": "cluster.parity_writes_skipped",
+    "stale_reads_avoided": "cluster.stale_reads_avoided",
+    "rejoins": "cluster.rejoins",
+}
+
+#: Repair/scrub keys minted by :class:`repro.mem.repair.RepairManager`
+#: in the backend's registry (documented here; created lazily):
+#: ``repair.pages_resilvered``, ``repair.bytes_resilvered``,
+#: ``repair.source_stalls``, ``repair.nodes_syncing`` (gauge),
+#: ``repair.nodes_promoted``, ``scrub.pages_checked``,
+#: ``scrub.mismatches``, ``scrub.repaired``, ``scrub.quarantined``,
+#: ``scrub.passes``.
+
 #: AIFM runtime: legacy flat name -> canonical name. An object miss is
 #: AIFM's major fault; evacuation is its eviction; evacuation write-backs
 #: are its page cleaning.

@@ -37,6 +37,7 @@ from repro.core.spec import (
     backend_label,
     make_backend,
 )
+from repro.mem.repair import RepairManager
 from repro.obs import MetricsSnapshot
 from repro.obs.registry import MetricsRegistry
 
@@ -87,18 +88,31 @@ class ComputeCluster:
         max_slice_ops: safety valve — a slice that completes this many
             operations without spending its quantum raises rather than
             spinning forever on a zero-cost workload.
+        repair: a :class:`~repro.mem.repair.RepairPolicy` (or spec
+            string) attaching the online resilver/scrub manager to the
+            shared cluster backend; rebuild traffic then paces on the
+            cluster's clock, interleaved with the tenants.
     """
 
     def __init__(self, backend: BackendSpec = "sharded:2",
                  remote_mem_bytes: int = 512 * MIB,
                  quantum_us: float = 1_000.0,
                  clock: Optional[Clock] = None,
-                 max_slice_ops: int = 1_000_000) -> None:
+                 max_slice_ops: int = 1_000_000,
+                 repair: Optional[Any] = None) -> None:
         if quantum_us <= 0:
             raise ValueError("quantum must be positive")
         self.clock = clock or Clock()
         self.backend: BackendLike = make_backend(backend, remote_mem_bytes)
         self.backend_label = backend_label(backend)
+        self.repair = None
+        if repair is not None:
+            if not callable(getattr(self.backend, "attach_repair", None)):
+                raise ValueError(
+                    "repair= needs a cluster backend, not "
+                    f"{self.backend_label!r}")
+            self.repair = RepairManager(self.backend, self.clock,
+                                        policy=repair)
         self.quantum_us = quantum_us
         self.max_slice_ops = max_slice_ops
         self.tenants: List[Tenant] = []
@@ -232,6 +246,14 @@ class ComputeCluster:
         metrics-identical iff their digests match.
         """
         merged = self.registry.snapshot("cluster", self.clock.now)
+        backend_metrics = getattr(self.backend, "metrics", None)
+        if callable(backend_metrics):
+            # Cluster backends report their own redundancy/repair state
+            # (``cluster.*``, ``repair.*``, ``scrub.*``); surface it in
+            # the merged snapshot so tenancy pressure metrics can assert
+            # on degraded-mode behaviour.
+            for key, value in backend_metrics().counters.items():
+                merged.counters.setdefault(key, value)
         for tenant in self.tenants:
             snap = tenant.metrics()
             prefix = f"tenant.{tenant.name}."

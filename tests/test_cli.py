@@ -87,3 +87,14 @@ class TestCommands:
     def test_redis_app_aware_requires_dilos(self, capsys):
         assert main(["redis-get", "--system", "fastswap",
                      "--app-aware"]) == 2
+
+    def test_repair_lifecycle(self, capsys):
+        assert main(["repair", "--backend", "replicated:2"]) == 0
+        out = capsys.readouterr().out
+        assert "repair lifecycle" in out
+        assert "repair.pages_resilvered" in out
+        assert "metrics digest" in out
+
+    def test_repair_rejects_non_redundant_backend(self, capsys):
+        assert main(["repair", "--backend", "sharded:2"]) == 2
+        assert "redundant" in capsys.readouterr().err

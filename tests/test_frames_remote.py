@@ -88,6 +88,40 @@ class TestMemoryNode:
         for off in offs:
             assert off % PAGE_SIZE == 0
 
+    def test_double_free_rejected(self):
+        node = MemoryNode(4 * PAGE_SIZE)
+        slot = node.alloc_slot()
+        node.free_slot(slot)
+        with pytest.raises(ValueError):
+            node.free_slot(slot)
+        assert node.free_slots == 4
+
+    def test_free_of_never_allocated_slot_rejected(self):
+        node = MemoryNode(4 * PAGE_SIZE)
+        node.alloc_slot()
+        with pytest.raises(ValueError):
+            node.free_slot(3)  # in range, but still on the free list
+
+    def test_double_free_cannot_alias_two_pages(self):
+        """The original bug: a double free put the slot on the free list
+        twice, so two later allocations shared one remote frame."""
+        node = MemoryNode(4 * PAGE_SIZE)
+        slots = [node.alloc_slot() for _ in range(4)]
+        node.free_slot(slots[0])
+        with pytest.raises(ValueError):
+            node.free_slot(slots[0])
+        a = node.alloc_slot()
+        with pytest.raises(OutOfMemoryError):
+            node.alloc_slot()  # the free list holds no phantom duplicate
+        assert a == slots[0]
+
+    def test_free_slot_still_bounds_checked(self):
+        node = MemoryNode(4 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            node.free_slot(-1)
+        with pytest.raises(ValueError):
+            node.free_slot(4)
+
     def test_failure_injection(self):
         import pytest as _pytest
         from repro.mem.remote import NodeFailedError
