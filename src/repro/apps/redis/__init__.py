@@ -11,6 +11,7 @@ from repro.apps.redis.sds import sds_free, sds_len, sds_new, sds_read, SDS_HEADE
 from repro.apps.redis.ziplist import ziplist_entries, ziplist_new, ziplist_read_range
 from repro.apps.redis.quicklist import Quicklist, NODE_SIZE
 from repro.apps.redis.server import RedisServer
+from repro.apps.redis.service import RedisService, build_redis_service
 from repro.apps.redis.workload import DelGetWorkload, GetWorkload, LRangeWorkload, PHOTO_MIX_SIZES
 from repro.apps.redis.guide import RedisPrefetchGuide
 
@@ -23,6 +24,8 @@ __all__ = [
     "Quicklist",
     "RedisPrefetchGuide",
     "RedisServer",
+    "RedisService",
+    "build_redis_service",
     "SDS_HEADER",
     "sds_free",
     "sds_len",

@@ -1,4 +1,8 @@
-"""redis-benchmark-shaped workload generators (§6.2, §6.3).
+"""redis-benchmark-shaped workload generators (§6.2, §6.3). The ``run``
+drivers are **deprecated** closed-loop aliases over the Service protocol
+(byte-identical, plus a ``DeprecationWarning``) — new experiments drive
+the ``redis`` service open-loop through :mod:`repro.serve` instead (see
+docs/SERVING.md).
 
 * :class:`GetWorkload` — GET-dominated serving. Sizes are fixed (4 KiB /
   64 KiB) or the "mixed" Facebook photo-serving distribution: six equally
@@ -17,7 +21,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 from repro.common.stats import Histogram
+from repro.apps.api import Request, deprecated_entry_point
 from repro.apps.redis.server import RedisServer
+from repro.apps.redis.service import RedisService
 
 #: The Facebook photo-serving mix (§6.2): six equally distributed sizes.
 PHOTO_MIX_SIZES = (4096, 8192, 16384, 32768, 65536, 131072)
@@ -82,6 +88,13 @@ class GetWorkload:
             self._expected[key] = value[:16]
 
     def run(self, server: RedisServer, verify: bool = True) -> RequestStats:
+        """Deprecated closed-loop driver (thin alias over the Service
+        protocol — identical request sequence, identical metrics digest).
+        New experiments should drive :class:`RedisService` through
+        :mod:`repro.serve` instead."""
+        deprecated_entry_point("GetWorkload.run", "repro.serve with the "
+                               "'redis' service")
+        service = RedisService(server)
         rng = random.Random(self.seed + 1)
         latencies = Histogram()
         clock = server.system.clock
@@ -89,9 +102,10 @@ class GetWorkload:
         for _ in range(self.n_queries):
             key = b"key:%d" % rng.randrange(self.n_keys)
             t0 = clock.now
-            value = server.get(key)
+            response = service.handle(Request("get", key=key))
             latencies.record(clock.now - t0)
-            if verify and value[:16] != self._expected[key]:
+            if verify and (not response.ok
+                           or response.value[:16] != self._expected[key]):
                 raise AssertionError(f"GET {key!r} returned corrupted value")
         return RequestStats(queries=self.n_queries,
                             elapsed_us=clock.now - begin,
@@ -132,6 +146,11 @@ class LRangeWorkload:
             server.rpush(b"list:%d" % list_id, values)
 
     def run(self, server: RedisServer, verify: bool = True) -> RequestStats:
+        """Deprecated closed-loop driver (thin alias over the Service
+        protocol); see :meth:`GetWorkload.run`."""
+        deprecated_entry_point("LRangeWorkload.run", "repro.serve with the "
+                               "'redis' service")
+        service = RedisService(server)
         rng = random.Random(self.seed + 1)
         latencies = Histogram()
         clock = server.system.clock
@@ -139,7 +158,9 @@ class LRangeWorkload:
         for _ in range(self.n_queries):
             key = b"list:%d" % rng.randrange(self.n_lists)
             t0 = clock.now
-            values = server.lrange(key, self.lrange_count)
+            response = service.handle(
+                Request("lrange", key=key, args=(self.lrange_count,)))
+            values = response.value if response.ok else []
             latencies.record(clock.now - t0)
             if verify:
                 if len(values) != min(self.lrange_count, self.elems_per_list):

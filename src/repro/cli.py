@@ -387,6 +387,110 @@ def cmd_tenants(args) -> int:
     return 0
 
 
+def _serve_spec(spec: str) -> str:
+    """argparse type for --spec: validate the serve spec, return it."""
+    from repro.serve import coerce_serve_spec
+    try:
+        coerce_serve_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return spec
+
+
+def cmd_serve(args) -> int:
+    """Run an open-loop serving preset: deterministic arrivals through
+    admission control and the load balancer into service tenants, with
+    SLO accounting in canonical ``serve.*`` metrics. The preset runs
+    twice; any drift in the request-trace or metrics digest is a
+    determinism failure (non-zero exit). A contrast run with the naive
+    configuration (no admission / load-blind routing) prints alongside."""
+    from repro.harness.scenarios import SERVE_SCENARIOS, build_serve_scenario
+
+    if args.list:
+        print(format_table(
+            "serving presets", ["name", "description"],
+            [[name, desc] for name, (desc, _, _, _)
+             in sorted(SERVE_SCENARIOS.items())]))
+        return 0
+
+    def one(naive: bool = False):
+        cluster = build_serve_scenario(args.preset, backend=args.backend,
+                                       kind=args.system, naive=naive)
+        if args.spec is not None:
+            from repro.serve import coerce_serve_spec
+            cluster.serve_spec = coerce_serve_spec(args.spec)
+        return cluster, cluster.serve()
+
+    try:
+        cluster, report = one()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = report.spec
+    snap = report.snapshot
+    hist = snap.histograms.get("serve.latency_us", {})
+    completed = snap.value("serve.completed")
+    violation_rate = (snap.value("serve.slo_violations") / completed
+                      if completed else 0.0)
+    print(f"{args.preset} on {cluster.backend_label}: "
+          f"{len(cluster.tenants)} service tenants, {spec.to_spec()}")
+    print(format_table("serve.* (canonical metrics)", ["metric", "value"], [
+        ["offered", int(snap.value("serve.offered"))],
+        ["admitted", int(snap.value("serve.admitted"))],
+        ["shed", int(snap.value("serve.shed"))],
+        ["completed", int(completed)],
+        ["errors", int(snap.value("serve.errors"))],
+        ["goodput (in-SLO ok)", int(snap.value("serve.goodput"))],
+        ["SLO violations", int(snap.value("serve.slo_violations"))],
+        ["violation rate", f"{violation_rate:.4f}"],
+        ["p50 latency (us)", f"{hist.get('p50', 0.0):.2f}"],
+        ["p99 latency (us)", f"{hist.get('p99', 0.0):.2f}"],
+        ["p999 latency (us)", f"{hist.get('p999', 0.0):.2f}"],
+        ["offered rps", f"{snap.value('serve.offered_rps'):,.0f}"],
+        ["goodput rps", f"{snap.value('serve.goodput_rps'):,.0f}"],
+    ]))
+    print(format_table(
+        "requests routed per tenant", ["tenant", "served"],
+        [[name, served] for name, served in report.per_tenant.items()]))
+
+    drifted = False
+    if not args.once:
+        _, repeat = one()
+        drifted = (repeat.trace_digest != report.trace_digest
+                   or repeat.snapshot.digest() != snap.digest())
+
+    if not args.no_contrast:
+        _, _, _, contrast_label = SERVE_SCENARIOS[args.preset]
+        _, naive_report = one(naive=True)
+        naive_hist = naive_report.snapshot.histograms.get(
+            "serve.latency_us", {})
+        print(format_table(
+            f"preset vs naive ({contrast_label})",
+            ["metric", "preset", "naive"], [
+                ["p50 (us)", f"{hist.get('p50', 0.0):.2f}",
+                 f"{naive_hist.get('p50', 0.0):.2f}"],
+                ["p99 (us)", f"{hist.get('p99', 0.0):.2f}",
+                 f"{naive_hist.get('p99', 0.0):.2f}"],
+                ["p999 (us)", f"{hist.get('p999', 0.0):.2f}",
+                 f"{naive_hist.get('p999', 0.0):.2f}"],
+                ["violation rate", f"{violation_rate:.4f}",
+                 f"{naive_report.violation_rate:.4f}"],
+                ["shed", report.shed, naive_report.shed],
+                ["goodput rps", f"{report.goodput_rps:,.0f}",
+                 f"{naive_report.goodput_rps:,.0f}"],
+            ]))
+
+    print(f"request-trace digest: {report.trace_digest}")
+    print(f"metrics digest: {snap.digest()}")
+    if drifted:
+        print("error: determinism drift — the repeated run produced a "
+              "different request trace or metrics digest", file=sys.stderr)
+        return 1
+    if not args.once:
+        print("determinism: OK (two runs, identical digests)")
+    return 0
+
+
 def cmd_repair(args) -> int:
     """Run the node-rejoin repair demo: degraded writes while a member
     is down, journal-protected rejoin, paced resilver, at-rest scrub
@@ -492,6 +596,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-quanta", type=int, default=None,
                    help="stop after this many total time slices")
     p.set_defaults(func=cmd_tenants)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop serving preset with SLO metrics + determinism gate")
+    p.add_argument("--preset", default="flash_crowd",
+                   help="serving preset name (see --list; "
+                        "default: flash_crowd)")
+    p.add_argument("--list", action="store_true",
+                   help="list serving presets and exit")
+    p.add_argument("--system", default=None, choices=SYSTEM_KINDS,
+                   help="kernel kind for every service tenant "
+                        "(default: the preset's choice)")
+    p.add_argument("--backend", default=None, metavar="SPEC",
+                   type=_backend_spec,
+                   help="shared backend override: one of "
+                        f"{', '.join(BACKEND_SPEC_EXAMPLES)}")
+    p.add_argument("--spec", default=None, metavar="SERVESPEC",
+                   type=_serve_spec,
+                   help="replace the preset's serve spec, e.g. "
+                        "'poisson:rate=5k,clients=1m,slo=2ms' "
+                        "(see docs/SERVING.md)")
+    p.add_argument("--no-contrast", action="store_true",
+                   help="skip the naive contrast run")
+    p.add_argument("--once", action="store_true",
+                   help="skip the determinism re-run (faster, ungated)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "repair",

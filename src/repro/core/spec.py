@@ -246,6 +246,12 @@ class SystemSpec:
     #: string (``"resilver_period=200,scrub_period=5000"``), or ``None``
     #: (no manager; ``rejoin`` falls back to the synchronous resilver).
     repair: Optional[RepairPolicy] = None
+    #: Open-loop serving configuration for this node when it is enrolled
+    #: as a service tenant: a :class:`~repro.serve.spec.ServeSpec`, a
+    #: spec string (``"poisson:rate=5k,clients=1m,slo=2ms"``), or
+    #: ``None``. Typed ``Any`` to keep :mod:`repro.serve` out of the
+    #: boot layer's import graph (it is coerced lazily below).
+    serve: Optional[Any] = None
     #: Extra keyword arguments for the kernel's config dataclass.
     overrides: Dict[str, Any] = field(default_factory=dict)
 
@@ -253,6 +259,11 @@ class SystemSpec:
         self.net_faults = coerce_fault_plan(self.net_faults)
         self.net_retry = coerce_retry_policy(self.net_retry)
         self.repair = coerce_repair_policy(self.repair)
+        if self.serve is not None:
+            # Deferred import: repro.serve imports the apps layer, which
+            # boots through this module — a top-level import would cycle.
+            from repro.serve.spec import coerce_serve_spec
+            self.serve = coerce_serve_spec(self.serve)
 
     # -- derived views -------------------------------------------------------
 

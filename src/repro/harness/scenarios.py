@@ -282,6 +282,114 @@ def repair_demo(backend: str = "replicated:2",
     }
 
 
+# -- open-loop serving presets -----------------------------------------------
+#
+# Each preset enrolls service tenants (request handlers, not workload
+# generators) and attaches a ServeSpec; ``cluster.serve()`` then plays
+# the whole open-loop story: arrivals -> admission -> balancer -> SLO
+# accounting. ``contrast`` is the ServeSpec override producing the naive
+# run the preset argues against (no admission, load-blind routing).
+
+def flash_crowd(backend: BackendSpec = "sharded:2",
+                kind: str = "dilos-readahead") -> ComputeCluster:
+    """Bursty overload (MMPP flash crowds at ~10x the fleet's capacity).
+
+    With ``depth/64`` admission the queue — and therefore the p99 — stays
+    bounded well inside the 1 ms SLO while shed requests count on
+    ``serve.shed``; the naive no-admission contrast run lets the backlog
+    grow for the whole burst and violates the SLO for most requests.
+    """
+    serve = ("bursty:rate=100k,burst_rate=3m,on=3ms,off=5ms,clients=1m,"
+             "slo=1ms,requests=6000,seed=7,admission=depth/64")
+    cluster = ComputeCluster(backend=backend, remote_mem_bytes=64 * MIB,
+                             serve=serve)
+    spec = _spec(kind, 256 * KIB)
+    cluster.add_service("web1", spec, "redis", n_keys=400, value_bytes=4096)
+    cluster.add_service("web2", spec, "redis", n_keys=400, value_bytes=4096)
+    return cluster
+
+
+def hot_key_skew(backend: BackendSpec = "sharded:2",
+                 kind: str = "dilos-readahead") -> ComputeCluster:
+    """Zipf-skewed keys under consistent-hash routing.
+
+    Key affinity sends the whole hot head of the distribution to one
+    tenant (watch ``tenant.kv1.served`` vs its peers and the p99); the
+    ``least`` contrast run spreads load evenly at the cost of affinity.
+    """
+    serve = ("poisson:rate=600k,clients=1m,slo=1ms,requests=6000,seed=11,"
+             "balance=hash")
+    cluster = ComputeCluster(backend=backend, remote_mem_bytes=64 * MIB,
+                             serve=serve)
+    spec = _spec(kind, 256 * KIB)
+    for name in ("kv1", "kv2", "kv3"):
+        cluster.add_service(name, spec, "redis", n_keys=400,
+                            value_bytes=4096, skew=1.2)
+    return cluster
+
+
+def slow_tenant_isolation(backend: BackendSpec = "sharded:2",
+                          kind: str = "dilos-readahead") -> ComputeCluster:
+    """Two fast replicas and one memory-starved laggard.
+
+    Least-outstanding routing notices the laggard's growing queue and
+    routes around it (it ends up serving a small residual share); the
+    round-robin contrast run blindly gives it a third of the traffic and
+    drags the whole fleet's p99 up by orders of magnitude.
+    """
+    serve = ("poisson:rate=900k,clients=1m,slo=1ms,requests=6000,seed=13,"
+             "balance=least")
+    cluster = ComputeCluster(backend=backend, remote_mem_bytes=64 * MIB,
+                             serve=serve)
+    fast = _spec(kind, 4 * MIB)
+    laggard = _spec(kind, 128 * KIB)
+    cluster.add_service("fast1", fast, "redis", n_keys=400, value_bytes=4096)
+    cluster.add_service("fast2", fast, "redis", n_keys=400, value_bytes=4096)
+    cluster.add_service("laggard", laggard, "redis", n_keys=400,
+                        value_bytes=4096)
+    return cluster
+
+
+#: name -> (description, builder, naive-contrast overrides, contrast label)
+SERVE_SCENARIOS: Dict[str, Tuple[str, ScenarioBuilder,
+                                 Dict[str, Any], str]] = {
+    "flash_crowd": (
+        "bursty overload; depth admission holds the SLO, naive violates",
+        flash_crowd, {"admission": "none"}, "no admission"),
+    "hot_key_skew": (
+        "zipf keys; consistent-hash affinity concentrates the hot head",
+        hot_key_skew, {"balance": "least"}, "least-outstanding"),
+    "slow_tenant_isolation": (
+        "least-outstanding routes around a memory-starved laggard",
+        slow_tenant_isolation, {"balance": "round_robin"}, "round-robin"),
+}
+
+
+def build_serve_scenario(name: str, backend: Optional[BackendSpec] = None,
+                         kind: Optional[str] = None,
+                         naive: bool = False) -> ComputeCluster:
+    """Build a serving preset by name (fresh cluster, ready to serve).
+
+    ``naive=True`` applies the preset's contrast overrides to the
+    attached :class:`~repro.serve.ServeSpec` — the configuration the
+    preset demonstrates against.
+    """
+    try:
+        _, builder, contrast, _ = SERVE_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown serve preset {name!r}; "
+                         f"pick from {sorted(SERVE_SCENARIOS)}") from None
+    kwargs: Dict[str, Any] = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    if kind is not None:
+        kwargs["kind"] = kind
+    cluster = builder(**kwargs)
+    if naive:
+        cluster.serve_spec = cluster.serve_spec.with_overrides(**contrast)
+    return cluster
+
+
 SCENARIOS: Dict[str, Tuple[str, ScenarioBuilder]] = {
     "kmeans+redis": ("k-means scan + redis GETs on a shared pool",
                      kmeans_redis),
@@ -317,12 +425,17 @@ def build_scenario(name: str, backend: Optional[BackendSpec] = None,
 __all__ = [
     "REPAIR_DEMO_BACKENDS",
     "SCENARIOS",
+    "SERVE_SCENARIOS",
     "build_scenario",
+    "build_serve_scenario",
+    "flash_crowd",
+    "hot_key_skew",
     "repair_demo",
     "kmeans_redis",
     "kmeans_tenant",
     "mixed_trio",
     "redis_get_tenant",
     "seqread_tenant",
+    "slow_tenant_isolation",
     "stream_duo",
 ]

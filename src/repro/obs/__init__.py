@@ -15,6 +15,7 @@ from repro.obs.names import (
     DILOS_ALIASES,
     FASTSWAP_ALIASES,
     NET_RELIABILITY_KEYS,
+    SERVE_KEYS,
     SHARED_KEYS,
     validate_name,
 )
@@ -24,6 +25,7 @@ from repro.obs.registry import (
     Histogram,
     LatencyBreakdown,
     LegacyCounters,
+    LogHistogram,
     MetricsRegistry,
     Observability,
 )
@@ -47,12 +49,14 @@ __all__ = [
     "Histogram",
     "LatencyBreakdown",
     "LegacyCounters",
+    "LogHistogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NET_RELIABILITY_KEYS",
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SERVE_KEYS",
     "SHARED_KEYS",
     "TraceRecord",
     "Tracer",

@@ -54,6 +54,30 @@ NET_RELIABILITY_KEYS = frozenset({
     "net.giveup",
 })
 
+#: Canonical serving-layer keys minted by
+#: :class:`repro.serve.frontend.ServeFrontend` in the cluster registry.
+#: Counters unless noted: ``serve.offered`` (open-loop arrivals),
+#: ``serve.admitted``, ``serve.shed`` (admission drops),
+#: ``serve.completed``, ``serve.errors`` (non-ok responses),
+#: ``serve.slo_violations``, ``serve.goodput`` (completed within SLO);
+#: ``serve.latency_us`` (bounded log-histogram: p50/p99/p999);
+#: ``serve.queue_depth`` (log-histogram of depth seen at admission);
+#: ``serve.offered_rps`` / ``serve.goodput_rps`` (gauges, set at the end
+#: of a run from the virtual serving timeline).
+SERVE_KEYS = frozenset({
+    "serve.offered",
+    "serve.admitted",
+    "serve.shed",
+    "serve.completed",
+    "serve.errors",
+    "serve.slo_violations",
+    "serve.goodput",
+    "serve.latency_us",
+    "serve.queue_depth",
+    "serve.offered_rps",
+    "serve.goodput_rps",
+})
+
 #: DiLOS kernel + page manager: legacy flat name -> canonical name.
 DILOS_ALIASES: Dict[str, str] = {
     "major_faults": "fault.major",

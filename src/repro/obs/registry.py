@@ -96,6 +96,36 @@ class Histogram(_stats.Histogram):
         }
 
 
+class LogHistogram(_stats.LogHistogram):
+    """A named bounded-memory log-bucketed histogram instrument.
+
+    The per-request instrument: recording folds the sample into a fixed
+    geometric bucket (no per-sample allocation), so serving-scale request
+    streams — millions of latencies — cost a few hundred ints total. Its
+    summary adds ``p999``, the serving tail the SLO layer reports on.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/min/max/p50/p99/p999; empty dict if empty."""
+        if not self.count:
+            return {}
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "min": self.min(),
+            "max": self.max(),
+            "p50": self.pct(50),
+            "p99": self.pct(99),
+            "p999": self.pct(99.9),
+        }
+
+
 class LatencyBreakdown(_stats.LatencyBreakdown):
     """A named per-component latency breakdown instrument."""
 
@@ -106,7 +136,7 @@ class LatencyBreakdown(_stats.LatencyBreakdown):
         self.name = name
 
 
-Instrument = Union[Counter, Gauge, Histogram, LatencyBreakdown]
+Instrument = Union[Counter, Gauge, Histogram, LogHistogram, LatencyBreakdown]
 
 
 class MetricsRegistry:
@@ -144,7 +174,16 @@ class MetricsRegistry:
         return gauge
 
     def histogram(self, name: str) -> Histogram:
+        # NOTE: retains raw samples. Audit (PR 6): the only per-sample
+        # users are the kernels' ``fault.minor_wait_us`` (bounded by the
+        # workload's minor-fault count and pinned by the golden-master
+        # digests, so left as-is). Anything recording per *request* must
+        # use :meth:`log_histogram` instead.
         return self._register(name, Histogram)
+
+    def log_histogram(self, name: str) -> LogHistogram:
+        """A bounded-memory log-bucketed histogram (per-request scale)."""
+        return self._register(name, LogHistogram)
 
     def breakdown(self, name: str) -> LatencyBreakdown:
         return self._register(name, LatencyBreakdown)
@@ -210,7 +249,7 @@ class MetricsRegistry:
                 counters[name] = inst.value
             elif isinstance(inst, Gauge):
                 counters[name] = inst.value
-            elif isinstance(inst, Histogram):
+            elif isinstance(inst, (Histogram, LogHistogram)):
                 histograms[name] = inst.summary()
             else:
                 breakdowns[name] = inst.averages()

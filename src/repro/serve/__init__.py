@@ -1,0 +1,85 @@
+"""Open-loop serving over disaggregated memory (millions of simulated
+clients on the simulated clock).
+
+The package turns the harness from "run this workload to completion" into
+"serve this request stream under an SLO": deterministic arrival processes
+(:mod:`~repro.serve.arrivals`), admission control
+(:mod:`~repro.serve.admission`), pluggable load balancing
+(:mod:`~repro.serve.balancer`) and an SLO-accounting frontend
+(:mod:`~repro.serve.frontend`) that drives
+:class:`~repro.sim.tenancy.ComputeCluster` service tenants and reports
+p50/p99/p999, goodput and SLO-violation rate through canonical
+``serve.*`` instruments. Everything is a pure function of the
+:class:`~repro.serve.spec.ServeSpec` — same spec, same trace digest, same
+metrics digest. See ``docs/SERVING.md`` for the tour.
+"""
+
+# Import order matters: spec defines the registries, arrivals populates
+# the arrival registry (ServeSpec validation consults it), then the
+# policy layers, then the frontend that composes them.
+from repro.serve.spec import (
+    ARRIVAL_SPEC_EXAMPLES,
+    Arrival,
+    ServeSpec,
+    arrival_kinds,
+    coerce_serve_spec,
+    make_arrivals,
+    parse_duration_us,
+    parse_scaled,
+    register_arrival,
+)
+from repro.serve import arrivals as arrivals  # noqa: F401 (registers kinds)
+from repro.serve.admission import (
+    AdmissionPolicy,
+    NoAdmission,
+    QueueDepthAdmission,
+    TokenBucketAdmission,
+    admission_kinds,
+    make_admission,
+    register_admission,
+)
+from repro.serve.balancer import (
+    Balancer,
+    ConsistentHashBalancer,
+    LeastOutstandingBalancer,
+    RoundRobinBalancer,
+    balancer_kinds,
+    make_balancer,
+    register_balancer,
+)
+from repro.serve.frontend import (
+    RequestSampler,
+    ServeFrontend,
+    ServeReport,
+    serve,
+)
+
+__all__ = [
+    "ARRIVAL_SPEC_EXAMPLES",
+    "AdmissionPolicy",
+    "Arrival",
+    "Balancer",
+    "ConsistentHashBalancer",
+    "LeastOutstandingBalancer",
+    "NoAdmission",
+    "QueueDepthAdmission",
+    "RequestSampler",
+    "RoundRobinBalancer",
+    "ServeFrontend",
+    "ServeReport",
+    "ServeSpec",
+    "TokenBucketAdmission",
+    "admission_kinds",
+    "arrival_kinds",
+    "balancer_kinds",
+    "coerce_serve_spec",
+    "make_admission",
+    "make_arrivals",
+    "make_balancer",
+    "parse_duration_us",
+    "parse_scaled",
+    "register_admission",
+    "register_arrival",
+    "register_balancer",
+    "serve",
+]

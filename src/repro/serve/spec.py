@@ -1,0 +1,231 @@
+"""The serving spec grammar and the arrival-process registry.
+
+One spec string describes a whole open-loop serving configuration, the
+same way ``backend=``/``repair=`` spec strings describe backends and
+repair policies::
+
+    "poisson:rate=5k,clients=1m,slo=2ms,requests=4000,seed=7"
+    "bursty:rate=2k,burst_rate=20k,on=50ms,off=200ms,slo=500us"
+    "diurnal:rate=8k,floor=500,period=1s,clients=1m,slo=1ms"
+
+The text before the colon picks an arrival process from the **arrival
+registry** (:func:`register_arrival` adds new ones without touching any
+caller); the ``key=value`` pairs fill the :class:`ServeSpec`. Scaled
+numbers accept ``k``/``m``/``g`` suffixes (``5k`` = 5 000, ``1m`` =
+1 000 000 — a million simulated clients is just a bigger modulus, not a
+bigger allocation); durations accept ``us``/``ms``/``s`` and normalize
+to microseconds.
+
+Common keys: ``rate`` (requests/second), ``clients`` (simulated client
+population), ``slo`` (latency objective), ``requests`` (how many
+arrivals to generate), ``seed``, ``admission`` (e.g. ``depth/64`` or
+``bucket/5k/32``), ``balance`` (``round_robin``/``least``/``hash``).
+Kind-specific keys (``burst_rate``, ``on``, ``off``, ``floor``,
+``period``) land in :attr:`ServeSpec.params`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
+
+#: Spec templates for help text: every registered kind with its flavor.
+ARRIVAL_SPEC_EXAMPLES = (
+    "poisson:rate=5k,clients=1m,slo=2ms",
+    "bursty:rate=2k,burst_rate=20k,on=50ms,off=200ms",
+    "diurnal:rate=8k,floor=500,period=1s",
+)
+
+_SCALED_RE = re.compile(r"^(\d+(?:\.\d+)?)([kmg]?)$", re.IGNORECASE)
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(us|ms|s)$", re.IGNORECASE)
+
+_SCALE = {"": 1.0, "k": 1e3, "m": 1e6, "g": 1e9}
+_TIME_US = {"us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def _fmt(value: float) -> str:
+    """A float as spec-string text: never exponent notation, so the
+    canonical form always re-parses (``1e6`` -> ``"1000000"``)."""
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def parse_scaled(text: str, what: str = "value") -> float:
+    """``"5k"`` -> 5000.0, ``"1.5m"`` -> 1.5e6, ``"250"`` -> 250.0."""
+    match = _SCALED_RE.match(text.strip())
+    if not match:
+        raise ValueError(
+            f"bad {what} {text!r}: expected a number with an optional "
+            "k/m/g suffix (e.g. '5k', '1m')")
+    return float(match.group(1)) * _SCALE[match.group(2).lower()]
+
+
+def parse_duration_us(text: str, what: str = "duration") -> float:
+    """``"2ms"`` -> 2000.0 µs; bare numbers are already microseconds."""
+    match = _DURATION_RE.match(text.strip())
+    if match:
+        return float(match.group(1)) * _TIME_US[match.group(2).lower()]
+    try:
+        return parse_scaled(text, what)
+    except ValueError:
+        raise ValueError(
+            f"bad {what} {text!r}: expected a duration like '2ms', "
+            "'500us', '1s' or a bare microsecond count") from None
+
+
+@dataclass
+class ServeSpec:
+    """A declarative description of one open-loop serving run."""
+
+    #: Arrival-process kind from the arrival registry.
+    kind: str = "poisson"
+    #: Mean offered load in requests per second.
+    rate_rps: float = 1_000.0
+    #: Simulated client population (client ids are drawn from it).
+    clients: int = 1_000_000
+    #: Latency objective in µs; requests slower than this violate SLO.
+    slo_us: float = 2_000.0
+    #: How many arrivals to generate.
+    requests: int = 2_000
+    #: Seed for the arrival/client/request randomness.
+    seed: int = 42
+    #: Admission policy spec (``"none"``, ``"depth/64"``,
+    #: ``"bucket/5k/32"``) — parsed by :mod:`repro.serve.admission`.
+    admission: str = "none"
+    #: Balancer policy name — parsed by :mod:`repro.serve.balancer`.
+    balance: str = "round_robin"
+    #: Kind-specific extras (``burst_rate``, ``on``, ``off``, ...).
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ARRIVALS:
+            raise ValueError(f"unknown arrival kind {self.kind!r}; "
+                             f"pick from {arrival_kinds()}")
+        if self.rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        if self.clients <= 0:
+            raise ValueError("clients must be positive")
+        if self.slo_us <= 0:
+            raise ValueError("slo must be positive")
+        if self.requests <= 0:
+            raise ValueError("requests must be positive")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ServeSpec":
+        """Parse a serve spec string (see the module docstring)."""
+        kind, _, args = spec.partition(":")
+        kind = kind.strip() or "poisson"
+        fields: Dict[str, Any] = {"kind": kind}
+        params: Dict[str, float] = {}
+        if args.strip():
+            for item in args.split(","):
+                key, eq, value = item.partition("=")
+                key, value = key.strip(), value.strip()
+                if not eq or not key or not value:
+                    raise ValueError(
+                        f"bad serve spec item {item!r}: expected key=value")
+                if key == "rate":
+                    fields["rate_rps"] = parse_scaled(value, "rate")
+                elif key == "clients":
+                    fields["clients"] = int(parse_scaled(value, "clients"))
+                elif key == "slo":
+                    fields["slo_us"] = parse_duration_us(value, "slo")
+                elif key == "requests":
+                    fields["requests"] = int(parse_scaled(value, "requests"))
+                elif key == "seed":
+                    fields["seed"] = int(value)
+                elif key == "admission":
+                    fields["admission"] = value
+                elif key == "balance":
+                    fields["balance"] = value
+                elif key in ("on", "off", "period"):
+                    params[key] = parse_duration_us(value, key)
+                elif key in ("burst_rate", "idle_rate", "floor"):
+                    params[key] = parse_scaled(value, key)
+                else:
+                    raise ValueError(f"unknown serve spec key {key!r}")
+        fields["params"] = params
+        return cls(**fields)
+
+    def to_spec(self) -> str:
+        """The canonical spec-string form (round-trips via from_spec)."""
+        parts = [f"rate={_fmt(self.rate_rps)}", f"clients={self.clients}",
+                 f"slo={_fmt(self.slo_us)}", f"requests={self.requests}",
+                 f"seed={self.seed}"]
+        if self.admission != "none":
+            parts.append(f"admission={self.admission}")
+        if self.balance != "round_robin":
+            parts.append(f"balance={self.balance}")
+        for key in sorted(self.params):
+            parts.append(f"{key}={_fmt(self.params[key])}")
+        return f"{self.kind}:{','.join(parts)}"
+
+    def with_overrides(self, **changes: Any) -> "ServeSpec":
+        """A copy with fields replaced (presets' naive variants)."""
+        return replace(self, **changes)
+
+
+def coerce_serve_spec(
+        value: Union[None, str, ServeSpec]) -> Optional[ServeSpec]:
+    """``None``/spec-string/ready-spec -> Optional[ServeSpec]."""
+    if value is None or isinstance(value, ServeSpec):
+        return value
+    if isinstance(value, str):
+        return ServeSpec.from_spec(value)
+    raise TypeError(f"serve= expects a spec string or ServeSpec, "
+                    f"got {type(value).__name__}")
+
+
+# -- the arrival registry ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop arrival: a timestamp and the client that issued it."""
+
+    t_us: float
+    client_id: int
+
+
+#: An arrival factory: spec -> deterministic iterator of Arrivals.
+ArrivalFactory = Callable[[ServeSpec], Iterator[Arrival]]
+
+_ARRIVALS: Dict[str, ArrivalFactory] = {}
+
+
+def register_arrival(kind: str) -> Callable[[ArrivalFactory], ArrivalFactory]:
+    """Register an arrival-process factory under ``kind`` (decorator)."""
+    def deco(factory: ArrivalFactory) -> ArrivalFactory:
+        if kind in _ARRIVALS:
+            raise ValueError(f"arrival kind {kind!r} already registered")
+        _ARRIVALS[kind] = factory
+        return factory
+    return deco
+
+
+def arrival_kinds() -> Tuple[str, ...]:
+    """All registered arrival kinds, in registration order."""
+    return tuple(_ARRIVALS)
+
+
+def make_arrivals(spec: ServeSpec) -> Iterator[Arrival]:
+    """The deterministic arrival stream described by ``spec``."""
+    try:
+        factory = _ARRIVALS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown arrival kind {spec.kind!r}; "
+                         f"pick from {arrival_kinds()}") from None
+    return factory(spec)
+
+
+__all__ = [
+    "ARRIVAL_SPEC_EXAMPLES",
+    "Arrival",
+    "ArrivalFactory",
+    "ServeSpec",
+    "arrival_kinds",
+    "coerce_serve_spec",
+    "make_arrivals",
+    "parse_duration_us",
+    "parse_scaled",
+    "register_arrival",
+]

@@ -92,6 +92,9 @@ class ComputeCluster:
             string) attaching the online resilver/scrub manager to the
             shared cluster backend; rebuild traffic then paces on the
             cluster's clock, interleaved with the tenants.
+        serve: default open-loop serving configuration for
+            :meth:`serve` — a :class:`~repro.serve.ServeSpec` or a spec
+            string such as ``"poisson:rate=5k,clients=1m,slo=2ms"``.
     """
 
     def __init__(self, backend: BackendSpec = "sharded:2",
@@ -99,9 +102,16 @@ class ComputeCluster:
                  quantum_us: float = 1_000.0,
                  clock: Optional[Clock] = None,
                  max_slice_ops: int = 1_000_000,
-                 repair: Optional[Any] = None) -> None:
+                 repair: Optional[Any] = None,
+                 serve: Optional[Any] = None) -> None:
         if quantum_us <= 0:
             raise ValueError("quantum must be positive")
+        if serve is not None:
+            # Deferred import: repro.serve drives *this* class, so a
+            # top-level import would cycle.
+            from repro.serve.spec import coerce_serve_spec
+            serve = coerce_serve_spec(serve)
+        self.serve_spec = serve
         self.clock = clock or Clock()
         self.backend: BackendLike = make_backend(backend, remote_mem_bytes)
         self.backend_label = backend_label(backend)
@@ -170,6 +180,62 @@ class ComputeCluster:
         self.registry.gauge(f"tenant.{name}.run_us",
                             lambda t=tenant: t.run_us)
         return tenant
+
+    def add_service(self, name: str, spec: SystemSpec,
+                    service: Any = "redis",
+                    share_backend: bool = True,
+                    **service_kwargs: Any) -> Tenant:
+        """Boot ``spec`` and enroll it as a request-driven *service*.
+
+        ``service`` is a kind name from the
+        :data:`repro.apps.api.SERVICES` registry (``"redis"``,
+        ``"taxi"``, ...) built over the booted system with
+        ``service_kwargs``, or a ready
+        :class:`~repro.apps.api.Service` object. Service tenants have no
+        workload generator — the open-loop frontend
+        (:meth:`serve`) drives their ``handle()`` directly; round-robin
+        :meth:`run` treats them as already finished.
+        """
+        from repro.apps.api import SERVICES, Service
+
+        tenant = self.add_tenant(name, spec, lambda system: iter(()),
+                                 share_backend=share_backend)
+        system = tenant.system
+        if isinstance(service, str):
+            service = SERVICES.build(service, system, **service_kwargs)
+        elif service_kwargs:
+            raise ValueError("service_kwargs only apply when building a "
+                             "service by kind name")
+        if not isinstance(service, Service):
+            raise TypeError(f"{service!r} does not implement the Service "
+                            "protocol (name + handle)")
+        tenant.done = True  # no workload generator to round-robin
+        tenant.extra["service"] = service
+        return tenant
+
+    def serve(self, spec: Optional[Any] = None,
+              sampler: Optional[Any] = None):
+        """Run one open-loop serving pass over the service tenants.
+
+        ``spec`` (a :class:`~repro.serve.ServeSpec` or spec string)
+        defaults to the cluster's ``serve=`` configuration, then to the
+        first service tenant's ``SystemSpec.serve``, then to a plain
+        poisson :class:`~repro.serve.ServeSpec`. Returns the
+        :class:`~repro.serve.ServeReport`.
+        """
+        from repro.serve.frontend import ServeFrontend
+        from repro.serve.spec import ServeSpec, coerce_serve_spec
+
+        resolved = coerce_serve_spec(spec) or self.serve_spec
+        if resolved is None:
+            for tenant in self.tenants:
+                tenant_serve = getattr(tenant.spec, "serve", None)
+                if tenant_serve is not None and "service" in tenant.extra:
+                    resolved = tenant_serve
+                    break
+        if resolved is None:
+            resolved = ServeSpec()
+        return ServeFrontend(self, resolved, sampler=sampler).run()
 
     def tenant(self, name: str) -> Tenant:
         """Lookup by name; raises ``KeyError`` with the valid names."""
