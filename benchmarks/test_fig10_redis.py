@@ -51,7 +51,7 @@ def run_get(value_size):
         server = build_server(variant, workload.footprint_bytes)
         workload.populate(server)
         server.system.clock.advance(5000)
-        result = workload.run(server, verify=True)
+        result = workload.drive(server, verify=True)
         out[variant] = result.requests_per_second
         stats[variant] = result
     return out, stats
@@ -66,7 +66,7 @@ def run_lrange():
         server = build_server(variant, workload.footprint_bytes)
         workload.populate(server)
         server.system.clock.advance(5000)
-        result = workload.run(server, verify=True)
+        result = workload.drive(server, verify=True)
         out[variant] = result.requests_per_second
         stats[variant] = result
     return out, stats

@@ -42,12 +42,12 @@ def measure():
         server = build_server(variant, get_wl.footprint_bytes)
         get_wl.populate(server)
         server.system.clock.advance(5000)
-        get_stats = get_wl.run(server)
+        get_stats = get_wl.drive(server)
         lr_wl = LRangeWorkload(n_lists=400, elems_per_list=64, n_queries=900)
         server = build_server(variant, lr_wl.footprint_bytes)
         lr_wl.populate(server)
         server.system.clock.advance(5000)
-        lr_stats = lr_wl.run(server)
+        lr_stats = lr_wl.drive(server)
         tails[variant] = (get_stats.latencies.pct(99),
                           get_stats.latencies.pct(99.9),
                           lr_stats.latencies.pct(99),

@@ -50,13 +50,13 @@ def throughput_section() -> None:
         server = build_server(variant, get_wl.footprint_bytes)
         get_wl.populate(server)
         server.system.clock.advance(5000)
-        get_rps = get_wl.run(server).requests_per_second
+        get_rps = get_wl.drive(server).requests_per_second
 
         lr_wl = LRangeWorkload(n_lists=300, elems_per_list=64, n_queries=500)
         server = build_server(variant, lr_wl.footprint_bytes)
         lr_wl.populate(server)
         server.system.clock.advance(5000)
-        lr_rps = lr_wl.run(server).requests_per_second
+        lr_rps = lr_wl.drive(server).requests_per_second
         print(f"{variant:18s} {get_rps:>10,.0f}/s {lr_rps:>10,.0f}/s")
     print("-> readahead/trend help GET but not LRANGE;")
     print("   the app-aware guide wins LRANGE by chasing quicklist nodes.\n")

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Batch-engine and fan-out smoke: the CI-fast version of the two
+exactness contracts this repo's performance work rests on.
+
+* **Batch == scalar.** Running the same workload with the vectorized
+  batch engine (`repro.mem.batch`) forced on and forced off must produce
+  the same answer, the same simulated clock, and the same canonical
+  metrics digest — on the paging kernels (DiLOS, Fastswap) and on the
+  AIFM object runtime's batched dereference API.
+* **Parallel == serial.** The multiprocessing fan-out
+  (`repro.harness.parallel.fanout`) used by ``repro sweep --jobs`` and
+  ``repro perf --jobs`` must merge results that are byte-identical to a
+  serial run, in the same order.
+
+Importable (``main()`` returns 0 on success, raising on any failure) so
+the test suite can run the exact path CI follows; runnable standalone:
+
+    PYTHONPATH=src python scripts/batch_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps.kmeans import KMeansWorkload
+from repro.harness import local_bytes_for, make_system
+from repro.harness.experiment import sweep_ratios
+from repro.harness.parallel import cell_seed, fanout
+from repro.harness.perf import case_by_name, run_case
+from repro.mem import batch
+
+
+def _run_kmeans(kind: str, batch_on: bool):
+    workload = KMeansWorkload(n_points=1 << 12)
+    system = make_system(
+        kind, local_bytes_for(workload.footprint_bytes, 0.5))
+    with batch.force(batch_on):
+        result = workload.run(system)
+    snapshot = system.metrics()
+    return result.elapsed_us, snapshot.digest()
+
+
+def check_batch_scalar_paging(kind: str) -> None:
+    on = _run_kmeans(kind, batch_on=True)
+    off = _run_kmeans(kind, batch_on=False)
+    if on != off:
+        raise AssertionError(
+            f"{kind}: batch and scalar runs diverged: {on} != {off}")
+    print(f"  {kind:<18} batch == scalar  "
+          f"(sim {on[0] / 1000:.3f} ms, digest {on[1][:12]})")
+
+
+def check_batch_scalar_aifm() -> None:
+    """Batched dereference must account exactly like the scalar loop."""
+    from repro.baselines.aifm.arrays import RemArray
+
+    def run(batched: bool):
+        system = make_system("aifm", 256 * 1024)
+        array = RemArray(system, count=512, item_size=64)
+        indices = [(i * 7) % array.count for i in range(256)]
+        payload = [bytes([i & 0xFF]) * 64 for i in range(256)]
+        if batched:
+            array.set_batch(indices, payload)
+            data = array.get_batch(indices)
+        else:
+            for index, item in zip(indices, payload):
+                array.set(index, item)
+            data = [array.get(index) for index in indices]
+        return data, system.clock.now, system.metrics().digest()
+
+    on, off = run(True), run(False)
+    if on != off:
+        raise AssertionError(
+            f"aifm: batched deref diverged from scalar: "
+            f"{on[1:]} != {off[1:]}")
+    print(f"  {'aifm':<18} batch == scalar  "
+          f"(sim {on[1] / 1000:.3f} ms, digest {on[2][:12]})")
+
+
+def check_parallel_sweep() -> None:
+    from repro.cli import _SweepRunner
+
+    def grid(jobs):
+        measurements = sweep_ratios(
+            "kmeans", _SweepRunner("kmeans", 1 << 12),
+            ["fastswap", "dilos-readahead"], [0.5, 1.0], jobs=jobs)
+        return [(m.system, m.ratio, m.value, m.extra["metrics"])
+                for m in measurements]
+
+    serial, parallel = grid(None), grid(2)
+    if serial != parallel:
+        raise AssertionError("sweep fan-out diverged from the serial grid")
+    print(f"  sweep --jobs 2     == serial  ({len(serial)} cells)")
+
+
+def check_parallel_perf() -> None:
+    names = ["quicksort_dilos", "seqscan_aifm"]
+    serial = [run_case(case_by_name(name), 1) for name in names]
+    from repro.harness.perf import _run_case_cell
+    parallel = fanout(_run_case_cell, [(name, 1) for name in names], jobs=2)
+    for s, p in zip(serial, parallel):
+        if (s.name, s.sim_us, s.ops, s.checksum) != \
+                (p.name, p.sim_us, p.ops, p.checksum):
+            raise AssertionError(
+                f"perf fan-out diverged on {s.name}: "
+                f"{s.checksum} != {p.checksum}")
+    print(f"  perf --jobs 2      == serial  ({len(names)} cases)")
+
+
+def check_cell_seeds() -> None:
+    """Seeds depend on cell identity only, never on scheduling."""
+    a = cell_seed("kmeans", "dilos-readahead", 0.5)
+    b = cell_seed("kmeans", "dilos-readahead", 0.5)
+    c = cell_seed("kmeans", "dilos-readahead", 1.0)
+    if a != b or a == c:
+        raise AssertionError("cell_seed is not a stable pure function")
+    print(f"  cell seeds         deterministic (example {a})")
+
+
+def main() -> int:
+    print("batch/fan-out smoke:")
+    check_batch_scalar_paging("dilos-readahead")
+    check_batch_scalar_paging("fastswap")
+    check_batch_scalar_aifm()
+    check_cell_seeds()
+    check_parallel_sweep()
+    check_parallel_perf()
+    print("batch smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -179,10 +179,14 @@ def run_closed_loop(service: Service, system: Any, requests: int,
         raise TypeError(f"service {service.name!r} has no sample_request; "
                         "drive it with explicit Requests instead")
     rng = random.Random(seed)
+    # Sample the whole request batch up front: samplers touch only their
+    # own rng, so the draw sequence (and thus every request) is identical
+    # to sampling inline, and the serve loop below stays branch-free.
+    pending = [sampler(rng) for _ in range(requests)]
     errors = 0
     begin = system.clock.now
-    for _ in range(requests):
-        response = service.handle(sampler(rng))
+    for request in pending:
+        response = service.handle(request)
         if not response.ok:
             errors += 1
     return ClosedLoopStats(requests=requests, errors=errors,

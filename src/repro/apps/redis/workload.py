@@ -88,19 +88,29 @@ class GetWorkload:
             self._expected[key] = value[:16]
 
     def run(self, server: RedisServer, verify: bool = True) -> RequestStats:
-        """Deprecated closed-loop driver (thin alias over the Service
-        protocol — identical request sequence, identical metrics digest).
-        New experiments should drive :class:`RedisService` through
+        """Deprecated closed-loop driver (thin alias over :meth:`drive` —
+        identical request sequence, identical metrics digest). New
+        experiments should drive :class:`RedisService` through
         :mod:`repro.serve` instead."""
         deprecated_entry_point("GetWorkload.run", "repro.serve with the "
                                "'redis' service")
+        return self.drive(server, verify=verify)
+
+    def drive(self, server: RedisServer, verify: bool = True) -> RequestStats:
+        """Closed-loop GET driver over the Service protocol.
+
+        The request keys are sampled as one batch up front (the sampler
+        touches only its own ``random.Random``, so the draw sequence is
+        identical to sampling inline) and served in order.
+        """
         service = RedisService(server)
         rng = random.Random(self.seed + 1)
+        keys = [b"key:%d" % rng.randrange(self.n_keys)
+                for _ in range(self.n_queries)]
         latencies = Histogram()
         clock = server.system.clock
         begin = clock.now
-        for _ in range(self.n_queries):
-            key = b"key:%d" % rng.randrange(self.n_keys)
+        for key in keys:
             t0 = clock.now
             response = service.handle(Request("get", key=key))
             latencies.record(clock.now - t0)
@@ -146,17 +156,23 @@ class LRangeWorkload:
             server.rpush(b"list:%d" % list_id, values)
 
     def run(self, server: RedisServer, verify: bool = True) -> RequestStats:
-        """Deprecated closed-loop driver (thin alias over the Service
-        protocol); see :meth:`GetWorkload.run`."""
+        """Deprecated closed-loop driver (thin alias over :meth:`drive`);
+        see :meth:`GetWorkload.run`."""
         deprecated_entry_point("LRangeWorkload.run", "repro.serve with the "
                                "'redis' service")
+        return self.drive(server, verify=verify)
+
+    def drive(self, server: RedisServer, verify: bool = True) -> RequestStats:
+        """Closed-loop LRANGE driver; keys pre-sampled as one batch (the
+        sampler touches only its own rng, so the sequence is identical)."""
         service = RedisService(server)
         rng = random.Random(self.seed + 1)
+        keys = [b"list:%d" % rng.randrange(self.n_lists)
+                for _ in range(self.n_queries)]
         latencies = Histogram()
         clock = server.system.clock
         begin = clock.now
-        for _ in range(self.n_queries):
-            key = b"list:%d" % rng.randrange(self.n_lists)
+        for key in keys:
             t0 = clock.now
             response = service.handle(
                 Request("lrange", key=key, args=(self.lrange_count,)))

@@ -13,6 +13,7 @@ from typing import Any, Dict
 
 from repro.common.units import MIB, PAGE_SIZE
 from repro.core.api import BaseSystem
+from repro.mem import batch
 
 
 @dataclass
@@ -49,26 +50,51 @@ class SequentialWorkload:
     def populate(self, system: BaseSystem):
         region = system.mmap(self.working_set_bytes, name="seqrw")
         pages = self.working_set_bytes // PAGE_SIZE
+        if batch.ENABLED:
+            system.memory.write_batch(
+                [region.base + i * PAGE_SIZE for i in range(pages)],
+                [self._pattern(i) for i in range(pages)])
+            return region
         for i in range(pages):
             system.memory.write(region.base + i * PAGE_SIZE, self._pattern(i))
         return region
 
     def run(self, system: BaseSystem, mode: str = "read",
             verify: bool = False) -> SeqResult:
-        """One full pass; ``mode`` is ``read`` or ``write``."""
+        """One full pass; ``mode`` is ``read`` or ``write``.
+
+        The pass is emitted as one access trace through the batch engine
+        (per-page elements, so clock charges and timer firings match the
+        scalar loop exactly); ``REPRO_BATCH=0`` restores the scalar loop.
+        """
         if mode not in ("read", "write"):
             raise ValueError(f"unknown mode {mode!r}")
         region = self.populate(system)
         pages = self.working_set_bytes // PAGE_SIZE
         start = system.clock.now
-        for i in range(pages):
-            va = region.base + i * PAGE_SIZE
+        if batch.ENABLED:
             if mode == "read":
-                data = system.memory.read(va, PAGE_SIZE)
-                if verify and data[:32] != self._pattern(i):
-                    raise AssertionError(f"page {i} corrupted")
+                ops = [("r", region.base + i * PAGE_SIZE, PAGE_SIZE)
+                       for i in range(pages)]
+                results = system.memory.apply_trace(ops)
+                if verify:
+                    for i, data in enumerate(results):
+                        if data[:32] != self._pattern(i):
+                            raise AssertionError(f"page {i} corrupted")
             else:
-                system.memory.write(va, b"\xC5" * PAGE_SIZE)
+                fill = b"\xC5" * PAGE_SIZE
+                system.memory.apply_trace(
+                    [("w", region.base + i * PAGE_SIZE, fill)
+                     for i in range(pages)])
+        else:
+            for i in range(pages):
+                va = region.base + i * PAGE_SIZE
+                if mode == "read":
+                    data = system.memory.read(va, PAGE_SIZE)
+                    if verify and data[:32] != self._pattern(i):
+                        raise AssertionError(f"page {i} corrupted")
+                else:
+                    system.memory.write(va, b"\xC5" * PAGE_SIZE)
         elapsed = system.clock.now - start
         return SeqResult(mode=mode, bytes_moved=pages * PAGE_SIZE,
                          elapsed_us=elapsed, metrics=system.metrics())

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.common.units import PAGE_SIZE
 from repro.core.api import BaseSystem
+from repro.mem import batch
 from repro.mem.addrspace import Region
 
 
@@ -43,18 +44,31 @@ class PagedArray:
     # -- bulk access ---------------------------------------------------------
 
     def load(self, start: int, stop: int) -> np.ndarray:
-        """Read elements ``[start, stop)`` through the paging path."""
+        """Read elements ``[start, stop)`` through the paging path.
+
+        With the batch engine on, TLB-hit spans arrive as single
+        fancy-index gathers straight into the result array; accounting is
+        identical to the scalar ``memory.read`` path below.
+        """
         self._check(start, stop)
-        raw = self.system.memory.read(self.base + start * self.itemsize,
-                                      (stop - start) * self.itemsize)
+        va = self.base + start * self.itemsize
+        nbytes = (stop - start) * self.itemsize
+        if batch.ENABLED and nbytes > batch.SPAN_THRESHOLD:
+            out = np.empty(stop - start, dtype=self.dtype)
+            self.system.memory.read_into(va, out.view(np.uint8))
+            return out
+        raw = self.system.memory.read(va, nbytes)
         return np.frombuffer(raw, dtype=self.dtype).copy()
 
     def store(self, start: int, values: np.ndarray) -> None:
         """Write ``values`` at ``start`` through the paging path."""
-        values = np.asarray(values, dtype=self.dtype)
+        values = np.ascontiguousarray(values, dtype=self.dtype)
         self._check(start, start + len(values))
-        self.system.memory.write(self.base + start * self.itemsize,
-                                 values.tobytes())
+        va = self.base + start * self.itemsize
+        if batch.ENABLED and values.nbytes > batch.SPAN_THRESHOLD:
+            self.system.memory.write_from(va, values.view(np.uint8))
+            return
+        self.system.memory.write(va, values.tobytes())
 
     # -- element access --------------------------------------------------------
 
@@ -99,6 +113,9 @@ class PagedBytes:
     def read(self, offset: int, size: int) -> bytes:
         if not 0 <= offset <= offset + size <= self.nbytes:
             raise IndexError("read outside buffer")
+        if batch.ENABLED and size:
+            return self.system.memory.read_batch(
+                [self.base + offset], [size])[0]
         return self.system.memory.read(self.base + offset, size)
 
     def write(self, offset: int, data: bytes) -> None:

@@ -139,39 +139,72 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    """Sweep one workload across systems and local-memory ratios, printing
-    a Figure 7/8-style table (optionally saving JSON for plotting)."""
-    from repro.harness import ratio_table
-    from repro.harness.experiment import Measurement, sweep_ratios
-    from repro.harness.results import save_json
+def _sweep_workload(name: str, size):
+    """Build one sweep workload instance (module-level so the --jobs
+    fan-out can rebuild it inside pool workers)."""
+    if name == "quicksort":
+        return QuicksortWorkload(count=size or (1 << 16))
+    if name == "kmeans":
+        return KMeansWorkload(n_points=size or (1 << 15))
+    if name == "taxi":
+        return TaxiAnalyticsWorkload(rows=size or (1 << 16))
+    raise KeyError(name)
 
-    builders = {
-        "quicksort": lambda: QuicksortWorkload(count=args.size or (1 << 16)),
-        "kmeans": lambda: KMeansWorkload(n_points=args.size or (1 << 15)),
-        "taxi": lambda: TaxiAnalyticsWorkload(rows=args.size or (1 << 16)),
-    }
-    if args.workload not in builders:
-        print(f"error: sweep supports {sorted(builders)}", file=sys.stderr)
-        return 2
 
-    def runner(kind, ratio, backend="node"):
-        workload = builders[args.workload]()
+class _SweepRunner:
+    """Picklable per-cell runner for ``repro sweep``.
+
+    Each cell boots a fresh system and runs a fresh workload, so cells
+    are independent; ``--jobs`` ships instances of this class to pool
+    workers, which a closure over ``args`` could not do.
+    """
+
+    def __init__(self, workload: str, size) -> None:
+        self.workload = workload
+        self.size = size
+
+    def __call__(self, kind, ratio, backend="node"):
+        from repro.harness.experiment import Measurement
+
+        workload = _sweep_workload(self.workload, self.size)
         system = make_system(
             kind, local_bytes_for(workload.footprint_bytes, ratio),
             backend=backend)
         if kind.startswith("aifm"):
-            if args.workload != "taxi":
-                raise SystemExit(
-                    "error: only the taxi workload has an AIFM port")
+            if self.workload != "taxi":
+                # A plain exception, not SystemExit: BaseException inside
+                # a --jobs pool worker kills the worker and hangs the
+                # map; cmd_sweep rejects this combination up front.
+                raise ValueError(
+                    "only the taxi workload has an AIFM port")
             result = workload.run_aifm(system)
         else:
             result = workload.run(system)
         return Measurement("", "", 0.0, value=result.elapsed_us / 1000.0,
                            unit="ms").record_metrics(system)
 
+
+def cmd_sweep(args) -> int:
+    """Sweep one workload across systems and local-memory ratios, printing
+    a Figure 7/8-style table (optionally saving JSON for plotting)."""
+    from repro.harness import ratio_table
+    from repro.harness.experiment import sweep_ratios
+    from repro.harness.results import save_json
+
+    if args.workload not in ("quicksort", "kmeans", "taxi"):
+        print("error: sweep supports ['kmeans', 'quicksort', 'taxi']",
+              file=sys.stderr)
+        return 2
+    if args.workload != "taxi" and any(
+            kind.startswith("aifm") for kind in args.systems):
+        print("error: only the taxi workload has an AIFM port",
+              file=sys.stderr)
+        return 2
+
+    runner = _SweepRunner(args.workload, args.size)
     measurements = sweep_ratios(args.workload, runner, args.systems,
-                                args.ratios, backend=args.backend)
+                                args.ratios, backend=args.backend,
+                                jobs=args.jobs)
     print(ratio_table(f"{args.workload} completion time", measurements))
     if args.save:
         save_json(measurements, args.save)
@@ -314,7 +347,7 @@ def cmd_redis_get(args) -> int:
         return 2
     workload.populate(server)
     server.system.clock.advance(5000)
-    stats = workload.run(server, verify=True)
+    stats = workload.drive(server, verify=True)
     _print_metrics(
         f"{args.system}: GET({args.value_size}) "
         f"{stats.requests_per_second:,.0f} req/s, "
@@ -330,7 +363,7 @@ def cmd_redis_lrange(args) -> int:
         return 2
     workload.populate(server)
     server.system.clock.advance(5000)
-    stats = workload.run(server, verify=True)
+    stats = workload.drive(server, verify=True)
     _print_metrics(
         f"{args.system}: LRANGE {stats.requests_per_second:,.0f} req/s, "
         f"p99 {stats.latencies.pct(99):.1f} us", stats.metrics)
@@ -575,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
                    type=_backend_spec,
                    help="remote memory backend for every booted system: "
                         f"one of {', '.join(BACKEND_SPEC_EXAMPLES)}")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan grid cells out across N worker processes "
+                        "(results are identical to a serial run)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(

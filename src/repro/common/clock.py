@@ -8,6 +8,7 @@ so runs are deterministic and independent of host speed.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, List, Tuple
 
 
@@ -23,8 +24,9 @@ class Clock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        # Sorted list of (deadline, seq, callback); small enough that a
-        # list + sort-on-insert beats heapq bookkeeping for our few timers.
+        # Min-heap of (deadline, seq, callback); the unique seq breaks
+        # deadline ties in registration order, so firing order is exactly
+        # the sorted-list order this queue used to keep.
         self._timers: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
 
@@ -49,17 +51,18 @@ class Clock:
         if deadline < self._now:
             # Completions computed in the past are simply "already done".
             return
-        while self._timers and self._timers[0][0] <= deadline:
-            when, _seq, callback = self._timers.pop(0)
-            self._now = max(self._now, when)
+        timers = self._timers
+        while timers and timers[0][0] <= deadline:
+            when, _seq, callback = heappop(timers)
+            if when > self._now:
+                self._now = when
             callback()
         self._now = deadline
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run when the clock reaches ``when``."""
         self._seq += 1
-        self._timers.append((max(when, self._now), self._seq, callback))
-        self._timers.sort(key=lambda t: (t[0], t[1]))
+        heappush(self._timers, (max(when, self._now), self._seq, callback))
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""

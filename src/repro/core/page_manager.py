@@ -21,6 +21,7 @@ takes clean pages, so it never loses data.
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import Clock
@@ -82,6 +83,12 @@ class PageManager:
         #: None means the full page was written back.
         self._clean_vectors: Dict[int, Optional[List[Range]]] = {}
         self._timer_armed = False
+        #: Pure-rotation ticks elided by :meth:`_tick`; replayed exactly
+        #: (as one cyclic shift) before the next real LRU access.
+        self._deferred_ticks = 0
+        #: Page-table unmap epoch as of the last moment the LRU provably
+        #: held no stale (unmapped) entries.
+        self._unmaps_seen = page_table.unmap_epoch
 
     # -- configuration -------------------------------------------------------
 
@@ -124,13 +131,21 @@ class PageManager:
 
     def insert(self, vpn: int) -> None:
         """Register a newly mapped page with the LRU clock."""
+        if self._deferred_ticks:
+            self._replay_rotation()
         self._lru[vpn] = None
         self._lru.move_to_end(vpn)
 
     def drop(self, vpn: int) -> None:
         """Forget a page (munmap/free); caller handles PTE and frame."""
+        if self._deferred_ticks:
+            self._replay_rotation()
         self._lru.pop(vpn, None)
         self._clean_vectors.pop(vpn, None)
+        # The unmap that motivated this drop (if any) left no stale LRU
+        # entry — the line above removed it. Every kernel unmap path pairs
+        # its PTE clear with a drop()/evict, so the LRU is stale-free again.
+        self._unmaps_seen = self._pt.unmap_epoch
 
     @property
     def resident_pages(self) -> int:
@@ -148,14 +163,94 @@ class PageManager:
     # -- background thread -------------------------------------------------------
 
     def _tick(self) -> None:
-        self.cleaner_pass(self._config.clean_batch)
-        deficit = self.high_watermark - self._frames.free_frames
-        if deficit > 0:
-            self.reclaimer_pass(min(deficit, self._config.reclaim_batch))
+        pt = self._pt
+        if (not pt.dirty_vpns and pt.unmap_epoch == self._unmaps_seen
+                and self._frames.free_frames >= self.high_watermark):
+            # Provably a no-op pass: no PTE anywhere is dirty (nothing to
+            # clean), no unmap since the LRU was last stale-free (nothing
+            # to drop), and the free list sits at the high watermark (no
+            # reclaim deficit). Such a pass reduces to a cyclic shift of
+            # the LRU by the scan budget — defer it and replay the
+            # accumulated shift lazily before the next real LRU access.
+            self._deferred_ticks += 1
+        else:
+            if self._deferred_ticks:
+                self._replay_rotation()
+            self.cleaner_pass(self._config.clean_batch)
+            deficit = self.high_watermark - self._frames.free_frames
+            if deficit > 0:
+                self.reclaimer_pass(min(deficit, self._config.reclaim_batch))
         self._clock.call_after(self._config.cleaner_period_us, self._tick)
+
+    def _replay_rotation(self) -> None:
+        """Apply the deferred pure-rotation ticks as one cyclic shift.
+
+        Exact replay: between deferral and replay no operation observed or
+        mutated the LRU (every mutator replays first), so ``t`` deferred
+        passes of budget ``b`` equal one left-rotation by ``(min(b, n) *
+        t) % n`` — each pass pops the front ``min(b, n)`` entries and
+        re-appends them in order, with no PTE reads or side effects
+        because nothing was dirty, stale, or reclaimable.
+        """
+        ticks, self._deferred_ticks = self._deferred_ticks, 0
+        lru = self._lru
+        n = len(lru)
+        if not ticks or n == 0:
+            return
+        self._shift((min(self._config.clean_batch, n) * ticks) % n)
+
+    def _shift(self, shift: int) -> None:
+        """Rotate the LRU left by ``shift`` entries in O(min(s, n-s))."""
+        lru = self._lru
+        n = len(lru)
+        if shift == 0:
+            return
+        if shift <= n - shift:
+            pop = lru.popitem
+            for _ in range(shift):
+                vpn, _ = pop(last=False)
+                lru[vpn] = None
+        else:
+            # Rotating left by shift == rotating right by n - shift: move
+            # the tail block to the front, last entry first.
+            move = lru.move_to_end
+            for vpn in list(islice(reversed(lru), n - shift)):
+                move(vpn, last=False)
 
     def cleaner_pass(self, budget: int) -> int:
         """Write back up to ``budget`` dirty pages; returns pages cleaned."""
+        if self._deferred_ticks:
+            self._replay_rotation()
+        pt = self._pt
+        lru = self._lru
+        n = len(lru)
+        if pt.unmap_epoch == self._unmaps_seen and n:
+            # No stale LRU entries, so the pass visits exactly the first
+            # min(budget, n) entries: each is rotated to the back and, if
+            # dirty, cleaned (second_chance=False never touches accessed
+            # bits). The dirty-set membership test replaces a PTE read —
+            # no side effects either way — and the per-entry interleaving
+            # of rotation and cleaning is preserved exactly, so any timer
+            # fired by a clean's inline post overhead observes the same
+            # LRU state as under the generic rotation below.
+            if not pt.dirty_vpns:
+                self._shift(min(budget, n) % n)
+                return 0
+            window = list(islice(lru, min(budget, n)))
+            start = self._clock.now
+            cleaned = 0
+            dirty = pt.dirty_vpns
+            move = lru.move_to_end
+            for vpn in window:
+                move(vpn)
+                if vpn in dirty:
+                    self._clean(vpn, self._pt.get(vpn))
+                    cleaned += 1
+            if cleaned and self._tracer.enabled:
+                self._tracer.complete("reclaim.cleaner_pass", "reclaim",
+                                      start, self._clock.now - start,
+                                      {"cleaned": cleaned})
+            return cleaned
         start = self._clock.now
         cleaned = 0
         for vpn in self._rotate(budget, second_chance=False):
@@ -171,6 +266,8 @@ class PageManager:
 
     def reclaimer_pass(self, target: int) -> int:
         """Evict up to ``target`` cold clean pages; returns pages evicted."""
+        if self._deferred_ticks:
+            self._replay_rotation()
         start = self._clock.now
         evicted = 0
         # Each rotation examines at most the whole LRU once.
@@ -263,6 +360,8 @@ class PageManager:
         self._tlb.invalidate(vpn)
         self._frames.free(frame)
         self._lru.pop(vpn, None)
+        # This unmap left no stale LRU entry (popped just above).
+        self._unmaps_seen = self._pt.unmap_epoch
         self._registry.add("reclaim.pages_evicted")
 
     def _refresh_vector(self, vpn: int) -> Optional[List[Range]]:
@@ -287,6 +386,8 @@ class PageManager:
 
     def _direct_reclaim(self, want: int) -> float:
         """Inline reclamation on the fault path; returns CPU time charged."""
+        if self._deferred_ticks:
+            self._replay_rotation()
         start = self._clock.now
         start_free = self._frames.free_frames
         cleaned_inline = 0

@@ -118,32 +118,57 @@ class Measurement:
         return self
 
 
+class _GridCell:
+    """Picklable invoker for one (system, ratio) cell of a sweep grid.
+
+    ``sweep_ratios --jobs`` ships these to pool workers, so the wrapped
+    runner must itself be picklable (a module-level function or class
+    instance, not a closure) when ``jobs > 1``.
+    """
+
+    def __init__(self, runner: Callable[..., Measurement],
+                 backend: BackendSpec, takes_backend: bool) -> None:
+        self.runner = runner
+        self.backend = backend
+        self.takes_backend = takes_backend
+
+    def __call__(self, cell) -> Measurement:
+        kind, ratio = cell
+        if self.takes_backend:
+            return self.runner(kind, ratio, backend=self.backend)
+        return self.runner(kind, ratio)
+
+
 def sweep_ratios(
     workload_name: str,
     runner: Callable[..., Measurement],
     systems: Iterable[str],
     ratios: Iterable[float] = PAPER_RATIOS,
     backend: BackendSpec = "node",
+    jobs: Optional[int] = None,
 ) -> List[Measurement]:
     """Run ``runner(system_kind, ratio)`` over the full grid.
 
     ``backend`` pins every booted system to one backend spec (e.g.
     ``"sharded:4"``); it is forwarded to runners that accept a
     ``backend`` keyword and stamped into each measurement's ``extra``.
+
+    ``jobs > 1`` fans the grid cells out across that many worker
+    processes (each cell boots its own system, so cells are fully
+    independent and every simulated result is identical to a serial
+    run); results are merged back in grid order. Parallel runs require
+    ``runner`` to be picklable.
     """
+    from repro.harness.parallel import fanout
+
     takes_backend = "backend" in inspect.signature(runner).parameters
-    results: List[Measurement] = []
-    for kind in systems:
-        for ratio in ratios:
-            if takes_backend:
-                measurement = runner(kind, ratio, backend=backend)
-            else:
-                measurement = runner(kind, ratio)
-            measurement.system = kind
-            measurement.workload = workload_name
-            measurement.ratio = ratio
-            measurement.extra.setdefault("backend", backend_label(backend))
-            results.append(measurement)
+    cells = [(kind, ratio) for kind in systems for ratio in ratios]
+    results = fanout(_GridCell(runner, backend, takes_backend), cells, jobs)
+    for (kind, ratio), measurement in zip(cells, results):
+        measurement.system = kind
+        measurement.workload = workload_name
+        measurement.ratio = ratio
+        measurement.extra.setdefault("backend", backend_label(backend))
     return results
 
 

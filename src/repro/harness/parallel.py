@@ -1,0 +1,66 @@
+"""Multiprocessing fan-out for benchmark grids.
+
+``repro sweep`` and ``python -m repro perf`` evaluate independent cells
+(one booted system per workload × kernel × ratio, or one perf case per
+cell); each cell is deterministic given its spec, so the grid can be
+distributed across cores without changing a single result. This module
+is the one place that policy lives:
+
+* :func:`fanout` — order-preserving parallel map over picklable cells.
+  ``jobs <= 1`` (or a single cell) degrades to the plain serial loop, so
+  serial and parallel runs share one code path and produce identical
+  merged results.
+* :func:`cell_seed` — a stable per-cell seed derived from the cell's
+  identity (not from worker index or scheduling order), so any cell that
+  wants its own RNG stream gets the same stream no matter which process
+  runs it or in which order.
+
+Workers must be module-level functions and cells must be picklable; the
+pool uses ``fork`` where available (no re-import cost) and falls back to
+``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import zlib
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Cell = TypeVar("Cell")
+Result = TypeVar("Result")
+
+
+def cell_seed(*identity, base: int = 0) -> int:
+    """A deterministic 31-bit seed from the cell's identity.
+
+    ``cell_seed("kmeans", "dilos-readahead", 0.5)`` is stable across
+    processes, hosts and Python versions (CRC-32 of the repr, not
+    ``hash()``, which is salted per process).
+    """
+    text = "\x1f".join(repr(part) for part in identity)
+    return (zlib.crc32(text.encode()) ^ base) & 0x7FFFFFFF
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def fanout(worker: Callable[[Cell], Result], cells: Sequence[Cell],
+           jobs: Optional[int] = None) -> List[Result]:
+    """Run ``worker(cell)`` for every cell; results in input order.
+
+    ``jobs`` of ``None``, 0 or 1 means serial (same code path the pool
+    workers take, so outputs are identical by construction). ``worker``
+    must be a module-level function and every cell picklable when
+    ``jobs > 1``.
+    """
+    cells = list(cells)
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        return [worker(cell) for cell in cells]
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=min(jobs, len(cells))) as pool:
+        # pool.map preserves input order regardless of completion order.
+        return pool.map(worker, cells)

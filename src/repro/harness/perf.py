@@ -190,8 +190,36 @@ def _redis_get(kind: str) -> PerfRun:
     server = RedisServer(system, Mimalloc(system, arena_bytes=32 * MIB))
     workload.populate(server)
     system.clock.advance(5000)
-    workload.run(server, verify=True)
+    workload.drive(server, verify=True)
     return PerfRun(system.clock.now, workload.n_keys + workload.n_queries,
+                   system.metrics().digest())
+
+
+def _kmeans_dilos() -> PerfRun:
+    """App-level: chunked Lloyd's k-means over far-memory points."""
+    from repro.apps.kmeans import KMeansWorkload
+    from repro.harness.experiment import local_bytes_for, make_system
+
+    workload = KMeansWorkload(n_points=1 << 14, dim=8, clusters=10,
+                              iterations=4)
+    system = make_system("dilos-readahead",
+                         local_bytes_for(workload.footprint_bytes, 0.5))
+    result = workload.run(system)
+    return PerfRun(system.clock.now,
+                   workload.n_points * workload.iterations,
+                   system.metrics().digest())
+
+
+def _dataframe_dilos() -> PerfRun:
+    """App-level: the taxi analytics query mix over far-memory columns."""
+    from repro.apps.dataframe import TaxiAnalyticsWorkload
+    from repro.harness.experiment import local_bytes_for, make_system
+
+    workload = TaxiAnalyticsWorkload(rows=1 << 16)
+    system = make_system("dilos-readahead",
+                         local_bytes_for(workload.footprint_bytes, 0.5))
+    workload.run(system)
+    return PerfRun(system.clock.now, workload.rows,
                    system.metrics().digest())
 
 
@@ -220,6 +248,12 @@ CASES: List[PerfCase] = [
     PerfCase("redis_get_fastswap",
              "Fastswap Redis GET, Facebook mixed value sizes",
              lambda: _redis_get("fastswap")),
+    PerfCase("kmeans_dilos",
+             "DiLOS k-means over 16K far-memory points at 50% local",
+             _kmeans_dilos),
+    PerfCase("dataframe_dilos",
+             "DiLOS taxi analytics over 64K far-memory rows at 50% local",
+             _dataframe_dilos),
 ]
 
 
@@ -297,6 +331,14 @@ def build_report(results: List[PerfResult], baseline: Dict[str, Any],
     }
 
 
+def _run_case_cell(cell) -> PerfResult:
+    """Picklable pool worker for ``--jobs``: resolve the case by name in
+    the child (the CASES thunks are lambdas, which do not pickle) and
+    run it there."""
+    name, iterations = cell
+    return run_case(case_by_name(name), iterations)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro perf",
@@ -317,6 +359,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"{DEFAULT_TOLERANCE})")
     parser.add_argument("--only", nargs="+", metavar="NAME", default=None,
                         help="run only these benchmarks")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan cases out across N worker processes "
+                             "(checksums/sim times are identical to a "
+                             "serial run; wall times may inflate under "
+                             "CPU contention, so prefer serial when "
+                             "gating)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the reference section from this run")
     parser.add_argument("--record-pre-pr", action="store_true",
@@ -331,10 +379,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     tolerance = (args.tolerance if args.tolerance is not None
                  else baseline.get("tolerance", DEFAULT_TOLERANCE))
 
-    results: List[PerfResult] = []
-    for case in cases:
-        result = run_case(case, iterations)
-        results.append(result)
+    from repro.harness.parallel import fanout
+
+    results: List[PerfResult] = fanout(
+        _run_case_cell, [(case.name, iterations) for case in cases],
+        args.jobs)
+    for result in results:
         print(f"  {result.name:<22} {result.wall_us / 1000:9.1f} ms wall   "
               f"{result.sim_us / 1000:9.2f} ms sim   "
               f"{result.ops:>6} ops   {result.checksum[:12]}")

@@ -1,8 +1,16 @@
 """The computing node's local DRAM: a pool of 4 KiB frames.
 
-Frames carry real bytes (``bytearray``) so that eviction, write-back and
-fetch round-trips are verifiable — a paging bug shows up as corrupted
-workload data, not just a wrong counter.
+Frames carry real bytes so that eviction, write-back and fetch round-trips
+are verifiable — a paging bug shows up as corrupted workload data, not just
+a wrong counter.
+
+All frames live in **one contiguous buffer**; each frame is exposed as a
+``memoryview`` slice (supporting the same reads, slice-assignments and
+``bytes()`` conversions a per-frame ``bytearray`` did), and the whole pool
+doubles as a zero-copy ``(total_frames, PAGE_SIZE)`` uint8 numpy array via
+:meth:`FramePool.as_ndarray`. That 2-D view is what the batch execution
+engine (:mod:`repro.mem.batch`) fancy-indexes to gather or scatter a whole
+run of frames in a single vector operation.
 """
 
 from __future__ import annotations
@@ -18,15 +26,22 @@ _ZERO_PAGE = bytes(PAGE_SIZE)
 class FramePool:
     """Fixed-size pool of local physical frames with a free list."""
 
-    __slots__ = ("total_frames", "_data", "_free", "_is_free")
+    __slots__ = ("total_frames", "_buf", "_nd", "_data", "_free", "_is_free",
+                 "_ever_used")
 
     def __init__(self, total_frames: int) -> None:
         if total_frames <= 0:
             raise ValueError("frame pool needs at least one frame")
         self.total_frames = total_frames
-        self._data: List[bytearray] = [None] * total_frames  # type: ignore[list-item]
+        self._buf = bytearray(total_frames * PAGE_SIZE)
+        self._nd = None
+        view = memoryview(self._buf)
+        self._data: List[memoryview] = [
+            view[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+            for i in range(total_frames)]
         self._free: List[int] = list(range(total_frames - 1, -1, -1))
         self._is_free: List[bool] = [True] * total_frames
+        self._ever_used: List[bool] = [False] * total_frames
 
     @property
     def free_frames(self) -> int:
@@ -42,27 +57,38 @@ class FramePool:
             raise OutOfMemoryError("local DRAM exhausted")
         frame = self._free.pop()
         self._is_free[frame] = False
-        buf = self._data[frame]
-        if buf is None:
-            self._data[frame] = bytearray(PAGE_SIZE)
+        if self._ever_used[frame]:
+            self._data[frame][:] = _ZERO_PAGE
         else:
-            buf[:] = _ZERO_PAGE
+            # Fresh slice of the backing buffer: already zero.
+            self._ever_used[frame] = True
         return frame
 
     def free(self, frame: int) -> None:
         """Return ``frame`` to the free list."""
         if not 0 <= frame < self.total_frames:
             raise ValueError(f"frame {frame} out of range")
-        if self._data[frame] is None:
+        if not self._ever_used[frame]:
             raise ValueError(f"frame {frame} was never allocated")
         if self._is_free[frame]:
             raise ValueError(f"double free of frame {frame}")
         self._is_free[frame] = True
         self._free.append(frame)
 
-    def data(self, frame: int) -> bytearray:
+    def data(self, frame: int) -> memoryview:
         """The 4 KiB backing buffer of ``frame``."""
-        buf = self._data[frame]
-        if buf is None:
+        if not self._ever_used[frame]:
             raise ValueError(f"frame {frame} not allocated")
-        return buf
+        return self._data[frame]
+
+    def as_ndarray(self):
+        """Zero-copy ``(total_frames, PAGE_SIZE)`` uint8 view of the pool.
+
+        Writable and always current: it aliases the same buffer the
+        per-frame memoryviews write through.
+        """
+        if self._nd is None:
+            import numpy as np
+            self._nd = np.frombuffer(self._buf, dtype=np.uint8).reshape(
+                self.total_frames, PAGE_SIZE)
+        return self._nd

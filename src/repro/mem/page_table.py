@@ -17,11 +17,28 @@ _LEVEL_BITS = 9
 _LEVEL_MASK = (1 << _LEVEL_BITS) - 1
 _VPN_BITS = 36  # 48-bit VA, 4 KiB pages
 
+# Mirrors of repro.mem.pte's bit layout (kept literal so this module stays
+# dependency-free): present = bit 0, dirty = bit 6.
+_PTE_PRESENT = 1 << 0
+_PRESENT_DIRTY = (1 << 0) | (1 << 6)
+
 
 class PageTable:
-    """Sparse 4-level radix tree of integer PTEs."""
+    """Sparse 4-level radix tree of integer PTEs.
 
-    __slots__ = ("_root", "_leaf_cache_key", "_leaf_cache", "leaf_tables")
+    Besides the mapping itself, two aggregates are maintained exactly on
+    every mutation, for O(1) "is there anything to do?" checks by the
+    page manager's background passes:
+
+    * :attr:`dirty_vpns` — the VPNs whose PTEs are currently present
+      *and* dirty (anywhere in the table);
+    * :attr:`unmap_epoch` — bumped each time a present PTE is replaced
+      by a non-present one (eviction, munmap, madvise), i.e. each event
+      that can leave a stale entry in an external LRU list.
+    """
+
+    __slots__ = ("_root", "_leaf_cache_key", "_leaf_cache", "leaf_tables",
+                 "dirty_vpns", "unmap_epoch")
 
     def __init__(self) -> None:
         self._root: Dict[int, Dict] = {}
@@ -29,6 +46,10 @@ class PageTable:
         self._leaf_cache: Dict[int, int] = {}
         #: Count of materialized leaf tables, for footprint reporting.
         self.leaf_tables = 0
+        #: VPNs of present PTEs with the dirty bit set, maintained exactly.
+        self.dirty_vpns: set = set()
+        #: Present -> non-present transition counter.
+        self.unmap_epoch = 0
 
     # -- walking -----------------------------------------------------------
 
@@ -67,10 +88,13 @@ class PageTable:
         """Install ``pte`` for ``vpn`` (0 clears the entry)."""
         leaf = self._leaf_for(vpn, create=True)
         index = vpn & _LEVEL_MASK
+        old = leaf.get(index, 0)
         if pte == 0:
             leaf.pop(index, None)
         else:
             leaf[index] = pte
+        if old != pte:
+            self._account(vpn, old, pte)
 
     def update(self, vpn: int, old: int, new: int) -> bool:
         """Compare-and-set; models the atomic PTE transitions of §4.2.
@@ -86,7 +110,20 @@ class PageTable:
             leaf.pop(index, None)
         else:
             leaf[index] = new
+        if old != new:
+            self._account(vpn, old, new)
         return True
+
+    def _account(self, vpn: int, old: int, new: int) -> None:
+        """Maintain :attr:`dirty_vpns` / :attr:`unmap_epoch` on a change."""
+        old_pd = old & _PRESENT_DIRTY == _PRESENT_DIRTY
+        if old_pd != (new & _PRESENT_DIRTY == _PRESENT_DIRTY):
+            if old_pd:
+                self.dirty_vpns.discard(vpn)
+            else:
+                self.dirty_vpns.add(vpn)
+        if old & _PTE_PRESENT and not new & _PTE_PRESENT:
+            self.unmap_epoch += 1
 
     def entries(self) -> Iterator[Tuple[int, int]]:
         """Iterate all ``(vpn, pte)`` pairs with non-zero PTEs."""

@@ -197,6 +197,41 @@ class VirtualMemory:
         self._clock.advance(size * self._copy_cost)
         self.counters.add("bytes_written", size)
 
+    # -- batch access -------------------------------------------------------
+
+    def read_into(self, va: int, out) -> None:
+        """Read ``len(out)`` bytes at ``va`` into a writable C-contiguous
+        1-D uint8 numpy array, executing pure-TLB-hit spans as single
+        fancy-index gathers. Accounting is identical to one
+        :meth:`read` call (see :mod:`repro.mem.batch`)."""
+        from repro.mem import batch
+        batch.read_span_into(self, va, out)
+
+    def write_from(self, va: int, values) -> None:
+        """Write a C-contiguous 1-D uint8 numpy array at ``va``; the batch
+        counterpart of one :meth:`write` call."""
+        from repro.mem import batch
+        batch.write_span_from(self, va, values)
+
+    def read_batch(self, vas, sizes):
+        """Batched loads: element ``i`` behaves exactly like
+        ``read(vas[i], sizes[i])`` — per-element clock charge and counter —
+        with hit spans vectorized. Returns a list of bytes."""
+        from repro.mem import batch
+        return batch.read_batch(self, vas, sizes)
+
+    def write_batch(self, vas, datas) -> None:
+        """Batched stores; element ``i`` behaves exactly like
+        ``write(vas[i], datas[i])``."""
+        from repro.mem import batch
+        batch.write_batch(self, vas, datas)
+
+    def apply_trace(self, ops):
+        """Execute ``("r", va, size)`` / ``("w", va, data)`` tuples in
+        order; returns per-op results (bytes for reads, None for writes)."""
+        from repro.mem import batch
+        return batch.apply_trace(self, ops)
+
     def touch(self, va: int, size: int, is_write: bool = False) -> None:
         """Fault in (and mark accessed/dirty) every page of a range without
         moving bytes — used by workloads whose computation is modeled by an

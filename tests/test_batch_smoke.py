@@ -1,0 +1,21 @@
+"""Wire ``scripts/batch_smoke.py`` into the suite: the documented
+batch-engine / fan-out reproduction (batch == scalar on all three
+kernels, parallel sweep/perf fan-out == serial, deterministic cell
+seeds) must pass end to end, exactly as CI runs it."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.mark.slow
+def test_batch_smoke():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import batch_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert batch_smoke.main() == 0

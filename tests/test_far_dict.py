@@ -180,7 +180,7 @@ class TestRedisFarIndex:
         workload = GetWorkload(value_size=4096, n_keys=300, n_queries=300)
         workload.populate(server)
         system.clock.advance(5000)
-        stats = workload.run(server, verify=True)
+        stats = workload.drive(server, verify=True)
         assert stats.requests_per_second > 0
 
     def test_far_index_costs_more_than_local(self):
@@ -194,6 +194,6 @@ class TestRedisFarIndex:
                                    n_queries=400)
             workload.populate(server)
             system.clock.advance(5000)
-            return workload.run(server).requests_per_second
+            return workload.drive(server).requests_per_second
 
         assert run("far") < run("local")

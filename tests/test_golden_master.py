@@ -41,6 +41,25 @@ GOLDEN = {
     "redis_get_fastswap": (
         "16bcfef36370161a3ea18e9e18dfe35d8f705ffe8f6e06c62614731a61947533",
         5899.989016695649),
+    "kmeans_dilos": (
+        "e6414fdf35a08e3e53cdf640213262d32dfe4727e999788af7a98f9712b748c6",
+        160.3185391304348),
+    "dataframe_dilos": (
+        "6cdd6fe25f70a1a625f18c3b97e96ddb2f1d910873306d682f2a41d0a9a3456c",
+        372.0654045217385),
+    # The *_batch scenarios force the vectorized batch engine on and are
+    # pinned to the SAME digests as their scalar counterparts above: the
+    # batch engine's exactness contract (see repro/mem/batch.py) is that
+    # span-vectorized execution changes nothing the simulation observes.
+    "redis_get_dilos_batch": (
+        "4688a2b5e4f86b069c0c959b6ba52a7bbaeaacaa779d5a8c3fb21813dc8c7965",
+        5362.223680695648),
+    "kmeans_dilos_batch": (
+        "e6414fdf35a08e3e53cdf640213262d32dfe4727e999788af7a98f9712b748c6",
+        160.3185391304348),
+    "dataframe_dilos_batch": (
+        "6cdd6fe25f70a1a625f18c3b97e96ddb2f1d910873306d682f2a41d0a9a3456c",
+        372.0654045217385),
 }
 
 
@@ -81,16 +100,58 @@ def _run_redis_get(kind: str):
     server = RedisServer(system, Mimalloc(system, arena_bytes=8 * MIB))
     workload.populate(server)
     system.clock.advance(5000)
-    workload.run(server, verify=True)
+    workload.drive(server, verify=True)
     return system
+
+
+def _run_kmeans():
+    from repro.apps.kmeans import KMeansWorkload
+    from repro.harness import local_bytes_for, make_system
+
+    workload = KMeansWorkload(n_points=1 << 11, dim=8, clusters=4,
+                              iterations=2)
+    system = make_system("dilos-readahead",
+                         local_bytes_for(workload.footprint_bytes, 0.25))
+    workload.run(system)
+    return system
+
+
+def _run_dataframe():
+    from repro.apps.dataframe import TaxiAnalyticsWorkload
+    from repro.harness import local_bytes_for, make_system
+
+    workload = TaxiAnalyticsWorkload(rows=1 << 13)
+    system = make_system("dilos-readahead",
+                         local_bytes_for(workload.footprint_bytes, 0.25))
+    workload.run(system)
+    return system
+
+
+def _forced(builder, batch_on: bool):
+    """Pin ``builder`` to one execution engine: the ``*_batch`` scenarios
+    force the vectorized span path, their scalar counterparts force the
+    per-page loops. Both land on the same GOLDEN row values — that
+    equality is the batch engine's whole contract."""
+    def run():
+        from repro.mem import batch
+        with batch.force(batch_on):
+            return builder()
+    return run
 
 
 SCENARIOS = {
     "seqread_dilos": lambda: _run_seqread("dilos-readahead"),
     "seqread_fastswap": lambda: _run_seqread("fastswap"),
     "seqscan_aifm": _run_seqscan_aifm,
-    "redis_get_dilos": lambda: _run_redis_get("dilos-readahead"),
+    "redis_get_dilos":
+        _forced(lambda: _run_redis_get("dilos-readahead"), False),
     "redis_get_fastswap": lambda: _run_redis_get("fastswap"),
+    "kmeans_dilos": _forced(_run_kmeans, False),
+    "dataframe_dilos": _forced(_run_dataframe, False),
+    "redis_get_dilos_batch":
+        _forced(lambda: _run_redis_get("dilos-readahead"), True),
+    "kmeans_dilos_batch": _forced(_run_kmeans, True),
+    "dataframe_dilos_batch": _forced(_run_dataframe, True),
 }
 
 

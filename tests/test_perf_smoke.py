@@ -115,6 +115,78 @@ def test_committed_bench_report_claims_headline_speedup():
         f"{headline['speedup_vs_baseline']}x")
 
 
+#: App-level benchmarks (whole workloads through the batch engine, not
+#: raw access-loop microbenchmarks).
+APP_LEVEL_CASES = {"quicksort_dilos", "seqscan_aifm", "redis_get_dilos",
+                   "redis_get_fastswap", "kmeans_dilos", "dataframe_dilos"}
+
+
+def test_app_level_cases_covered_by_baseline():
+    """Schema coverage for the app-level entries: every one is a
+    registered case and carries both a frozen pre-PR wall time and a
+    rolling reference in the committed baseline."""
+    names = {case.name for case in perf.CASES}
+    assert APP_LEVEL_CASES <= names
+    baseline = perf.load_baseline(perf.DEFAULT_BASELINE)
+    assert APP_LEVEL_CASES <= set(baseline["pre_pr"])
+    assert APP_LEVEL_CASES <= set(baseline["reference"])
+
+
+def test_injected_slowdown_in_batch_benchmark_fires_gate(
+        tmp_path, monkeypatch):
+    """Red-green for the regression gate on a batch-engine benchmark:
+    the same reference passes an honest run (green) and catches an
+    injected slowdown (red)."""
+    import time as _time
+
+    case = perf.case_by_name("kmeans_dilos")
+    honest = perf.run_case(case, iterations=1)
+
+    baseline = tmp_path / "baseline.json"
+    # Reference far above the honest measurement so a noisy host cannot
+    # turn the green half red; the injected sleep then overshoots it.
+    reference_us = honest.wall_us * 10
+    baseline.write_text(json.dumps({
+        "schema": perf.BASELINE_SCHEMA,
+        "pre_pr": {"kmeans_dilos": round(honest.wall_us, 1)},
+        "reference": {"kmeans_dilos": round(reference_us, 1)},
+        "tolerance": 1.5,
+    }))
+    args = ["--smoke", "--out", str(tmp_path / "BENCH_perf.json"),
+            "--baseline", str(baseline), "--only", "kmeans_dilos"]
+
+    assert perf.main(args) == 0, "honest run must pass the gate"
+
+    slow_s = reference_us * 1.5 * 2 / 1e6
+    orig_fn = case.fn
+
+    def slowed():
+        _time.sleep(slow_s)
+        return orig_fn()
+
+    monkeypatch.setattr(case, "fn", slowed)
+    assert perf.main(args) == 1, "injected slowdown must trip the gate"
+    report = json.loads((tmp_path / "BENCH_perf.json").read_text())
+    row = report["benchmarks"][0]
+    assert row["name"] == "kmeans_dilos"
+    assert row["regressed"] is True
+
+
+def test_committed_bench_report_claims_app_level_speedups():
+    """Acceptance contract: at least two app-level benchmarks beat the
+    frozen pre-PR baseline by >= 10x in the committed report."""
+    path = REPO_ROOT / "BENCH_perf.json"
+    if not path.exists():
+        pytest.skip("BENCH_perf.json not generated yet")
+    report = json.loads(path.read_text())
+    by_name = {row["name"]: row for row in report["benchmarks"]}
+    tenfold = [name for name in APP_LEVEL_CASES
+               if by_name.get(name, {}).get("speedup_vs_baseline", 0) >= 10]
+    assert len(tenfold) >= 2, (
+        "fewer than two app-level benchmarks hold a 10x speedup over "
+        f"the pre-PR baseline: {sorted(tenfold)}")
+
+
 @pytest.mark.slow
 def test_cli_perf_subcommand_smoke(tmp_path):
     out = tmp_path / "BENCH_perf.json"

@@ -130,7 +130,7 @@ class TestWorkloads:
         server = make_server(local_mib=1.0)
         wl = GetWorkload(value_size=4096, n_keys=400, n_queries=300)
         wl.populate(server)
-        stats = wl.run(server, verify=True)
+        stats = wl.drive(server, verify=True)
         assert stats.queries == 300
         assert stats.requests_per_second > 0
         assert stats.latencies.count == 300
@@ -139,13 +139,13 @@ class TestWorkloads:
         server = make_server(local_mib=4.0, arena_mib=256)
         wl = GetWorkload(value_size="mixed", n_keys=120, n_queries=60)
         wl.populate(server)
-        wl.run(server, verify=True)
+        wl.drive(server, verify=True)
 
     def test_lrange_workload_verifies(self):
         server = make_server(local_mib=1.0)
         wl = LRangeWorkload(n_lists=100, elems_per_list=32, n_queries=150)
         wl.populate(server)
-        stats = wl.run(server, verify=True)
+        stats = wl.drive(server, verify=True)
         assert stats.latencies.count == 150
 
     def test_delget_workload_runs(self):
@@ -163,7 +163,7 @@ class TestAppAwareGuide:
         server = make_server(local_mib=1.0, guide=guide)
         wl = GetWorkload(value_size=65536, n_keys=60, n_queries=120)
         wl.populate(server)
-        wl.run(server, verify=True)
+        wl.drive(server, verify=True)
         assert guide.get_prefetches > 0
 
     def test_guide_correctness_on_lrange(self):
@@ -171,7 +171,7 @@ class TestAppAwareGuide:
         server = make_server(local_mib=0.5, guide=guide)
         wl = LRangeWorkload(n_lists=150, elems_per_list=32, n_queries=200)
         wl.populate(server)
-        wl.run(server, verify=True)
+        wl.drive(server, verify=True)
         assert guide.chain_fetches > 0
 
     def test_guide_speeds_up_lrange(self):
@@ -182,7 +182,7 @@ class TestAppAwareGuide:
             wl = LRangeWorkload(n_lists=200, elems_per_list=48, n_queries=250)
             wl.populate(server)
             server.system.clock.advance(3000)
-            return wl.run(server).requests_per_second
+            return wl.drive(server).requests_per_second
 
         assert run(RedisPrefetchGuide()) > 1.2 * run(None)
 
