@@ -184,6 +184,58 @@ class _SweepRunner:
                            unit="ms").record_metrics(system)
 
 
+def _sweep_llm(args) -> int:
+    """The llm sweep grid: P:D split x local-memory ratio on one kernel.
+
+    All validation happens here, before any pool worker is spawned — a
+    bad kernel/split surfaces as a clear exit-2 message, never as a
+    SystemExit inside a ``--jobs`` worker (which would hang the map).
+    """
+    from repro.apps.llm import (PdSweepRunner, best_split_per_ratio,
+                                parse_pd_split)
+    from repro.harness import ratio_table
+    from repro.harness.experiment import sweep_ratios
+    from repro.harness.results import save_json
+
+    if any(kind.startswith("aifm") for kind in args.systems):
+        print("error: the llm sweep disaggregates prefill/decode across "
+              "a shared cluster backend, which AIFM tenants cannot join "
+              "(bump allocation); pick a paging kernel, or run the "
+              "single-node AIFM port via 'repro llm --system aifm'",
+              file=sys.stderr)
+        return 2
+    if len(args.systems) != 1:
+        print("error: the llm sweep grid is P:D split x ratio on one "
+              "kernel; pass exactly one --systems kind", file=sys.stderr)
+        return 2
+    splits = args.pd_splits or ["3:1", "2:2", "1:3"]
+    try:
+        for split in splits:
+            parse_pd_split(split)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ratios = args.ratios or [0.25, 0.5, 1.0, 1.5]
+
+    runner = PdSweepRunner(args.systems[0], n_requests=args.size or 12)
+    measurements = sweep_ratios("llm", runner, splits, ratios,
+                                backend=args.backend, jobs=args.jobs)
+    print(ratio_table(
+        f"llm prefill/decode makespan on {args.systems[0]}", measurements))
+    best = best_split_per_ratio(measurements)
+    print(format_table(
+        "best P:D split per local-memory ratio",
+        ["ratio", "split"],
+        [[f"{ratio:g}", split] for ratio, split in best.items()]))
+    if len(set(best.values())) > 1:
+        print("regime crossover: the best split changes with the "
+              "local-memory ratio")
+    if args.save:
+        save_json(measurements, args.save)
+        print(f"saved {len(measurements)} measurements to {args.save}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Sweep one workload across systems and local-memory ratios, printing
     a Figure 7/8-style table (optionally saving JSON for plotting)."""
@@ -191,10 +243,16 @@ def cmd_sweep(args) -> int:
     from repro.harness.experiment import sweep_ratios
     from repro.harness.results import save_json
 
-    if args.workload not in ("quicksort", "kmeans", "taxi"):
-        print("error: sweep supports ['kmeans', 'quicksort', 'taxi']",
+    if args.workload not in ("quicksort", "kmeans", "taxi", "llm"):
+        print("error: sweep supports ['kmeans', 'llm', 'quicksort', "
+              "'taxi']", file=sys.stderr)
+        return 2
+    if args.pd_splits and args.workload != "llm":
+        print("error: --pd-splits only applies to the llm sweep",
               file=sys.stderr)
         return 2
+    if args.workload == "llm":
+        return _sweep_llm(args)
     if args.workload != "taxi" and any(
             kind.startswith("aifm") for kind in args.systems):
         print("error: only the taxi workload has an AIFM port",
@@ -203,8 +261,8 @@ def cmd_sweep(args) -> int:
 
     runner = _SweepRunner(args.workload, args.size)
     measurements = sweep_ratios(args.workload, runner, args.systems,
-                                args.ratios, backend=args.backend,
-                                jobs=args.jobs)
+                                args.ratios or [0.125, 0.5, 1.0],
+                                backend=args.backend, jobs=args.jobs)
     print(ratio_table(f"{args.workload} completion time", measurements))
     if args.save:
         save_json(measurements, args.save)
@@ -481,7 +539,10 @@ def cmd_serve(args) -> int:
         ["p999 latency (us)", f"{hist.get('p999', 0.0):.2f}"],
         ["offered rps", f"{snap.value('serve.offered_rps'):,.0f}"],
         ["goodput rps", f"{snap.value('serve.goodput_rps'):,.0f}"],
-    ]))
+    ] + ([
+        ["TTFT p99 (us)", f"{report.ttft.get('p99', 0.0):.2f}"],
+        ["TPOT p99 (us)", f"{report.tpot.get('p99', 0.0):.2f}"],
+    ] if report.ttft else [])))
     print(format_table(
         "requests routed per tenant", ["tenant", "served"],
         [[name, served] for name, served in report.per_tenant.items()]))
@@ -511,7 +572,10 @@ def cmd_serve(args) -> int:
                 ["shed", report.shed, naive_report.shed],
                 ["goodput rps", f"{report.goodput_rps:,.0f}",
                  f"{naive_report.goodput_rps:,.0f}"],
-            ]))
+            ] + ([
+                ["TTFT p99 (us)", f"{report.ttft.get('p99', 0.0):.2f}",
+                 f"{naive_report.ttft.get('p99', 0.0):.2f}"],
+            ] if report.ttft else [])))
 
     print(f"request-trace digest: {report.trace_digest}")
     print(f"metrics digest: {snap.digest()}")
@@ -521,6 +585,55 @@ def cmd_serve(args) -> int:
         return 1
     if not args.once:
         print("determinism: OK (two runs, identical digests)")
+    return 0
+
+
+def cmd_llm(args) -> int:
+    """LLM inference with the KV cache in far memory — single-node
+    closed-loop by default, or prefill/decode disaggregation across
+    cluster tenants with ``--pd-split P:D``. Both modes decode the
+    identical token stream (the compatibility invariant)."""
+    from repro.apps.llm import PD_CONFIG, LlmWorkload, run_pd
+
+    if args.pd_split is not None:
+        try:
+            result = run_pd(kind=args.system, ratio=args.ratio,
+                            split=args.pd_split, backend=args.backend,
+                            n_requests=args.requests,
+                            net_faults=args.net_faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.system} P:D {result.split} on {result.backend}: "
+              f"{result.decoded_tokens} tokens decoded across "
+              f"{result.requests} requests in "
+              f"{result.makespan_us / 1000:.2f} simulated ms "
+              f"({result.kv_transfer_bytes // 1024} KiB KV transferred)")
+        print(format_table(
+            "per-tenant", ["tenant", "ops", "run_ms", "major_faults"],
+            [[name, int(row["ops"]), f"{row['run_us'] / 1000:.2f}",
+              int(row["major_faults"])]
+             for name, row in sorted(result.per_tenant.items())]))
+        print(f"token digest: {result.token_digest}")
+        print(f"kv digest: {result.kv_digest}")
+        return 0
+
+    workload = LlmWorkload(n_requests=args.requests, config=PD_CONFIG,
+                           prompt_min=24, prompt_max=56,
+                           out_min=8, out_max=16)
+    system = _boot(args, workload.footprint_bytes)
+    result = (workload.run_aifm(system) if args.system.startswith("aifm")
+              else workload.run(system))
+    mean_ttft = sum(result.ttft_us) / len(result.ttft_us)
+    mean_tpot = sum(result.tpot_us) / len(result.tpot_us)
+    _print_metrics(
+        f"{system.name}: {result.decoded_tokens} tokens decoded "
+        f"({result.prefill_tokens} prefilled) across {result.requests} "
+        f"requests in {result.elapsed_us / 1000:.2f} simulated ms, "
+        f"mean TTFT {mean_ttft:.1f} us, mean TPOT {mean_tpot:.1f} us",
+        result.metrics)
+    print(f"token digest: {result.token_digest}")
+    print(f"kv digest: {result.kv_digest}")
     return 0
 
 
@@ -595,12 +708,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("sweep", help="system x ratio grid for one workload")
-    p.add_argument("workload", choices=("quicksort", "kmeans", "taxi"))
+    p.add_argument("workload", choices=("quicksort", "kmeans", "taxi",
+                                        "llm"))
     p.add_argument("--systems", nargs="+",
                    default=["fastswap", "dilos-readahead"],
                    choices=SYSTEM_KINDS)
-    p.add_argument("--ratios", nargs="+", type=float,
-                   default=[0.125, 0.5, 1.0])
+    p.add_argument("--ratios", nargs="+", type=float, default=None,
+                   help="local-memory ratios (default: 0.125 0.5 1.0; "
+                        "llm: 0.25 0.5 1.0 1.5)")
+    p.add_argument("--pd-splits", nargs="+", default=None, metavar="P:D",
+                   help="llm only: prefill:decode tenant splits forming "
+                        "the grid's second axis (default: 3:1 2:2 1:3)")
     p.add_argument("--size", type=int, default=None,
                    help="workload size override (elements/rows)")
     p.add_argument("--save", default=None, help="write results JSON here")
@@ -731,6 +849,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--guide", action="store_true",
                            help="use the app-aware frontier guide")
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "llm", help="LLM inference: KV cache tiered over far memory")
+    common(p)
+    p.add_argument("--requests", type=int, default=12,
+                   help="inference requests in the seeded stream")
+    p.add_argument("--pd-split", default=None, metavar="P:D",
+                   help="disaggregate: P prefill + D decode tenants on "
+                        "a shared cluster (e.g. 3:1)")
+    p.set_defaults(func=cmd_llm)
 
     p = sub.add_parser("redis-get", help="Figure 10(a-c)")
     common(p)

@@ -223,6 +223,23 @@ def _dataframe_dilos() -> PerfRun:
                    system.metrics().digest())
 
 
+def _llm_decode_dilos() -> PerfRun:
+    """App-level: LLM decode-heavy inference, KV cache paged at 25%
+    local (the random-gather path the P:D sweep stresses)."""
+    from repro.apps.llm import LlmConfig, LlmWorkload
+    from repro.harness.experiment import local_bytes_for, make_system
+
+    workload = LlmWorkload(n_requests=12, seed=31,
+                           config=LlmConfig(heads=8, max_tokens=192),
+                           prompt_min=24, prompt_max=80,
+                           out_min=8, out_max=16)
+    system = make_system("dilos-readahead",
+                         local_bytes_for(workload.footprint_bytes, 0.25))
+    result = workload.run(system)
+    return PerfRun(system.clock.now, result.decoded_tokens,
+                   system.metrics().digest())
+
+
 CASES: List[PerfCase] = [
     PerfCase("seqread_dilos",
              "DiLOS resident 4 MiB sequential read (TLB-hit fast path)",
@@ -254,6 +271,9 @@ CASES: List[PerfCase] = [
     PerfCase("dataframe_dilos",
              "DiLOS taxi analytics over 64K far-memory rows at 50% local",
              _dataframe_dilos),
+    PerfCase("llm_decode_dilos",
+             "DiLOS LLM decode: random KV-cache gathers at 25% local",
+             _llm_decode_dilos),
 ]
 
 

@@ -66,6 +66,12 @@ class ServeReport:
     snapshot: MetricsSnapshot
     #: Requests routed to each tenant (admitted only).
     per_tenant: Dict[str, int] = field(default_factory=dict)
+    #: ``count/mean/.../p99`` of time-to-first-token (µs), queueing
+    #: delay included — populated only by token services (llm) whose
+    #: responses carry ``ttft_us`` in their value dict.
+    ttft: Dict[str, float] = field(default_factory=dict)
+    #: Same shape for time-per-output-token (µs, decode-side only).
+    tpot: Dict[str, float] = field(default_factory=dict)
 
     @property
     def violation_rate(self) -> float:
@@ -101,6 +107,8 @@ class ServeReport:
             "p50_us": self.latency.get("p50", 0.0),
             "p99_us": self.latency.get("p99", 0.0),
             "p999_us": self.latency.get("p999", 0.0),
+            "ttft_p99_us": self.ttft.get("p99", 0.0),
+            "tpot_p99_us": self.tpot.get("p99", 0.0),
         }
 
 
@@ -150,6 +158,10 @@ class ServeFrontend:
         self._goodput = registry.counter("serve.goodput")
         self._latency = registry.log_histogram("serve.latency_us")
         self._depth_hist = registry.log_histogram("serve.queue_depth")
+        # Token-level SLO metrics; only populated when a service's
+        # responses carry ttft_us/tpot_us in their value dict (llm).
+        self._ttft = registry.log_histogram("serve.ttft_us")
+        self._tpot = registry.log_histogram("serve.tpot_us")
         self._offered_rps = registry.gauge("serve.offered_rps")
         self._goodput_rps = registry.gauge("serve.goodput_rps")
         for tenant in self._tenants:
@@ -202,6 +214,13 @@ class ServeFrontend:
             latency = completion - arrival.t_us
             self._completed.add()
             self._latency.record(latency)
+            if isinstance(response.value, dict) \
+                    and "ttft_us" in response.value:
+                # TTFT as the client sees it: virtual queueing delay
+                # before the tenant starts, plus prefill + first decode.
+                self._ttft.record((start - arrival.t_us)
+                                  + response.value["ttft_us"])
+                self._tpot.record(response.value.get("tpot_us", 0.0))
             if not response.ok:
                 errors += 1
                 self._errors.add()
@@ -235,6 +254,8 @@ class ServeFrontend:
             snapshot=self.cluster.metrics(),
             per_tenant={t.name: served[i]
                         for i, t in enumerate(self._tenants)},
+            ttft=dict(self._ttft.summary()),
+            tpot=dict(self._tpot.summary()),
         )
 
     @staticmethod

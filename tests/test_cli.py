@@ -98,3 +98,53 @@ class TestCommands:
     def test_repair_rejects_non_redundant_backend(self, capsys):
         assert main(["repair", "--backend", "sharded:2"]) == 2
         assert "redundant" in capsys.readouterr().err
+
+
+class TestLlmCommands:
+    def test_llm_single_node(self, capsys):
+        assert main(["llm", "--requests", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tokens decoded" in out
+        assert "token digest:" in out
+        assert "mean TTFT" in out
+
+    def test_llm_pd_mode(self, capsys):
+        assert main(["llm", "--requests", "4", "--pd-split", "1:1"]) == 0
+        out = capsys.readouterr().out
+        assert "P:D 1:1" in out
+        assert "KV transferred" in out
+        assert "per-tenant" in out
+
+    def test_llm_pd_rejects_aifm(self, capsys):
+        assert main(["llm", "--system", "aifm", "--pd-split", "1:1"]) == 2
+        assert "AIFM" in capsys.readouterr().err
+
+    def test_llm_sweep_tiny_grid(self, capsys):
+        assert main(["sweep", "llm", "--systems", "dilos-readahead",
+                     "--pd-splits", "1:1", "--ratios", "1.0",
+                     "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best P:D split per local-memory ratio" in out
+
+    # The sweep's grid validation must run before any --jobs pool
+    # worker spawns: a SystemExit inside a worker hangs the map, so
+    # every bad configuration has to die up front with exit 2.
+
+    def test_llm_sweep_rejects_aifm_up_front(self, capsys):
+        assert main(["sweep", "llm", "--systems", "aifm-rdma",
+                     "--jobs", "2"]) == 2
+        assert "AIFM tenants cannot join" in capsys.readouterr().err
+
+    def test_llm_sweep_rejects_multiple_kernels(self, capsys):
+        assert main(["sweep", "llm", "--systems", "dilos-readahead",
+                     "fastswap"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_llm_sweep_rejects_malformed_split(self, capsys):
+        assert main(["sweep", "llm", "--systems", "dilos-readahead",
+                     "--pd-splits", "3-1"]) == 2
+        assert "bad P:D split" in capsys.readouterr().err
+
+    def test_pd_splits_rejected_for_other_workloads(self, capsys):
+        assert main(["sweep", "quicksort", "--pd-splits", "1:1"]) == 2
+        assert "only applies to the llm sweep" in capsys.readouterr().err

@@ -60,6 +60,26 @@ GOLDEN = {
     "dataframe_dilos_batch": (
         "6cdd6fe25f70a1a625f18c3b97e96ddb2f1d910873306d682f2a41d0a9a3456c",
         372.0654045217385),
+    # LLM inference: prefill writes + windowed random decode gathers over
+    # the paged KV cache (see repro/apps/llm.py).
+    "llm_dilos": (
+        "5c2712afaa8e365d5c16c9c60a3759f9c31db2523afc6698f165dc924d5667a9",
+        106.2514086956507),
+    "llm_fastswap": (
+        "93abac674986ec97196d24fecff9c2ca99376c2c35b29e52e679f604386f7944",
+        126.0914086956507),
+    "llm_aifm": (
+        "f9ff1806039b972ddc774f3ecaf25cb4a9c59f7ad1d9527288f26313a69e588c",
+        125.61444730435211),
+    # Deliberately the SAME row as llm_dilos: a healthy sharded backend
+    # changes page *placement*, never anything the simulation observes.
+    "llm_dilos_sharded": (
+        "5c2712afaa8e365d5c16c9c60a3759f9c31db2523afc6698f165dc924d5667a9",
+        106.2514086956507),
+    # Batch twin, same digest as the scalar run — the exactness contract.
+    "llm_dilos_batch": (
+        "5c2712afaa8e365d5c16c9c60a3759f9c31db2523afc6698f165dc924d5667a9",
+        106.2514086956507),
 }
 
 
@@ -127,6 +147,18 @@ def _run_dataframe():
     return system
 
 
+def _run_llm(kind: str, backend: str = "node"):
+    from repro.apps.llm import LlmWorkload
+    from repro.harness import local_bytes_for, make_system
+
+    workload = LlmWorkload(n_requests=4, seed=31)
+    system = make_system(kind,
+                         local_bytes_for(workload.footprint_bytes, 0.25),
+                         backend=backend)
+    workload.run(system)
+    return system
+
+
 def _forced(builder, batch_on: bool):
     """Pin ``builder`` to one execution engine: the ``*_batch`` scenarios
     force the vectorized span path, their scalar counterparts force the
@@ -152,6 +184,12 @@ SCENARIOS = {
         _forced(lambda: _run_redis_get("dilos-readahead"), True),
     "kmeans_dilos_batch": _forced(_run_kmeans, True),
     "dataframe_dilos_batch": _forced(_run_dataframe, True),
+    "llm_dilos": _forced(lambda: _run_llm("dilos-readahead"), False),
+    "llm_fastswap": lambda: _run_llm("fastswap"),
+    "llm_aifm": lambda: _run_llm("aifm-rdma"),
+    "llm_dilos_sharded":
+        lambda: _run_llm("dilos-readahead", backend="sharded:2"),
+    "llm_dilos_batch": _forced(lambda: _run_llm("dilos-readahead"), True),
 }
 
 

@@ -1,0 +1,21 @@
+"""Wire ``scripts/llm_smoke.py`` into the suite: the documented LLM
+reproduction (compatibility invariant across kernels/ratios/engines,
+P:D disaggregation exactness, byte-identical parallel sweep, TTFT SLO
+red/green) must pass end to end, exactly as CI runs it."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.mark.slow
+def test_llm_smoke():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import llm_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert llm_smoke.main() == 0

@@ -387,7 +387,8 @@ class TestServeFrontend:
 class TestServePresets:
     def test_registry_shape(self):
         assert set(SERVE_SCENARIOS) == {"flash_crowd", "hot_key_skew",
-                                        "slow_tenant_isolation"}
+                                        "slow_tenant_isolation",
+                                        "llm_flash_crowd"}
         with pytest.raises(ValueError, match="unknown serve preset"):
             build_serve_scenario("thundering_herd")
 
@@ -410,6 +411,53 @@ class TestServePresets:
     def test_cli_serve_rejects_unknown_preset(self, capsys):
         from repro.cli import main
         assert main(["serve", "--preset", "nope", "--once"]) == 2
+
+
+class TestLlmServing:
+    """Token-level SLOs: the llm preset's red/green story and the
+    determinism of its request traces."""
+
+    def test_llm_flash_crowd_red_green(self):
+        # Red: no admission lets the burst backlog compound, so the
+        # time-to-first-token tail (queueing included) blows through
+        # the SLO by orders of magnitude.
+        red = build_serve_scenario("llm_flash_crowd", naive=True).serve()
+        assert red.shed == 0
+        assert red.ttft["count"] > 0, "llm responses must carry ttft_us"
+        assert red.ttft["p99"] > red.spec.slo_us
+        assert red.violation_rate > 0.1
+        # Green: the preset's token bucket sheds the overhang; TTFT p99
+        # stays bounded and nothing served misses the SLO.
+        green = build_serve_scenario("llm_flash_crowd").serve()
+        assert green.shed > 0
+        assert green.ttft["p99"] < green.spec.slo_us
+        assert green.slo_violations == 0
+        assert green.snapshot.value("serve.shed") == green.shed
+
+    def test_llm_token_metrics_reach_the_snapshot(self):
+        report = build_serve_scenario("llm_flash_crowd").serve(
+            "poisson:rate=2k,requests=120,seed=9,slo=5ms")
+        snap = report.snapshot
+        assert snap.histograms["serve.ttft_us"]["count"] == report.admitted
+        assert snap.histograms["serve.tpot_us"]["count"] == report.admitted
+        assert (snap.value("tenant.gen1.llm.requests")
+                + snap.value("tenant.gen2.llm.requests")
+                == report.admitted)
+        assert report.summary()["ttft_p99_us"] == report.ttft["p99"]
+        # TPOT measures steady-state decode; TTFT carries prefill and
+        # queueing on top, so its tail dominates.
+        assert report.ttft["p99"] > report.tpot["p99"]
+
+    def test_llm_trace_is_deterministic(self):
+        first = build_serve_scenario("llm_flash_crowd").serve()
+        second = build_serve_scenario("llm_flash_crowd").serve()
+        assert first.trace_digest == second.trace_digest
+        assert first.snapshot.digest() == second.snapshot.digest()
+        assert first.ttft == second.ttft
+        reseeded = build_serve_scenario("llm_flash_crowd").serve(
+            ("bursty:rate=4k,burst_rate=1m,on=3ms,off=5ms,clients=100k,"
+             "slo=1ms,requests=1200,seed=24,admission=bucket/5k/16"))
+        assert reseeded.trace_digest != first.trace_digest
 
 
 def self_spec() -> str:
