@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.common.units import MIB
 from repro.net.faults import (
@@ -41,6 +41,9 @@ class AifmConfig:
     #: Retry policy override (:class:`repro.net.RetryPolicy`) for the
     #: reliable transport; only used when ``net_faults`` is set.
     net_retry: Optional[RetryPolicy] = None
+    #: Rack-fabric attachment (:class:`repro.net.topology.FabricPort`)
+    #: or ``None`` for the flat private-wire model.
+    fabric: Optional[Any] = None
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def __post_init__(self) -> None:

@@ -112,15 +112,17 @@ class AifmRuntime:
         extra = self.model.tcp_extra if self.config.transport == "tcp" else 0.0
         plan = self.config.net_faults  # typed Optional[FaultPlan], parsed once
 
+        fabric = self.config.fabric  # rack attachment; None = flat wire
+
         def connection(name: str):
             raw = QueuePair(name, self.clock, self.model, self.node,
                             self.stats, extra_completion_delay=extra,
-                            tracer=self.tracer)
+                            tracer=self.tracer, fabric=fabric)
             if plan is None:
                 return raw
             alt = QueuePair(f"{name}.alt", self.clock, self.model, self.node,
                             self.stats, extra_completion_delay=extra,
-                            tracer=self.tracer)
+                            tracer=self.tracer, fabric=fabric)
             return ReliableQP(name, self.clock, self.model, self.node,
                               qps=[raw, alt], plan=plan,
                               policy=self.config.net_retry,

@@ -80,16 +80,19 @@ class FastswapKernel:
         #: queue — demand fetches queue behind readahead and write-backs
         #: (the head-of-line blocking DiLOS' comm module avoids, §4.5).
         plan = config.net_faults  # typed Optional[FaultPlan], parsed once
+        fabric = config.fabric  # rack attachment; None = flat wire
         if plan is None:
             self.swap_qp = QueuePair("swap", clock, self.model, node,
-                                     self.stats, tracer=self.tracer)
+                                     self.stats, tracer=self.tracer,
+                                     fabric=fabric)
         else:
             self.swap_qp = ReliableQP(
                 "swap", clock, self.model, node,
                 qps=[QueuePair("swap", clock, self.model, node, self.stats,
-                               tracer=self.tracer),
+                               tracer=self.tracer, fabric=fabric),
                      QueuePair("swap.alt", clock, self.model, node,
-                               self.stats, tracer=self.tracer)],
+                               self.stats, tracer=self.tracer,
+                               fabric=fabric)],
                 plan=plan, policy=config.net_retry,
                 registry=self.registry, tracer=self.tracer)
         self.swap_cache = SwapCache()

@@ -236,6 +236,64 @@ def _sweep_llm(args) -> int:
     return 0
 
 
+def _sweep_rack(args) -> int:
+    """The rack sweep grid: placement policy x ToR oversubscription.
+
+    Every cell boots a fresh rack (same tenants, same arrival stream)
+    and reports the serving tail next to the fabric/pool metrics that
+    explain it — the locality-vs-load tradeoff in one table. All
+    validation happens here, before any ``--jobs`` pool worker spawns.
+    """
+    import json
+
+    from repro.mem.pool import placement_kinds
+    from repro.sim.rack import sweep_rack
+
+    placements = args.placements or ["locality", "load"]
+    unknown = [p for p in placements if p not in placement_kinds()]
+    if unknown:
+        print(f"error: unknown placement policies {unknown}; pick from "
+              f"{list(placement_kinds())}", file=sys.stderr)
+        return 2
+    oversubs = args.oversubs or [1.0, 4.0]
+    if any(o < 1.0 for o in oversubs):
+        print("error: oversubscription factors must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.systems == ["fastswap", "dilos-readahead"]:
+        # The parser default (meant for the ratio sweeps); the rack
+        # grid is placement x oversubscription on one kernel.
+        args.systems = ["dilos-readahead"]
+    if len(args.systems) != 1:
+        print("error: the rack sweep grid is placement x oversubscription "
+              "on one kernel; pass exactly one --systems kind",
+              file=sys.stderr)
+        return 2
+    if args.systems[0].startswith("aifm"):
+        print("error: AIFM tenants cannot share the rack's pooled backend "
+              "(bump allocation); pick a paging kernel", file=sys.stderr)
+        return 2
+
+    rows = sweep_rack(placements, oversubs, jobs=args.jobs,
+                      kind=args.systems[0],
+                      tenants=args.size or 8)
+    print(format_table(
+        f"rack serving tail on {args.systems[0]} "
+        f"({args.size or 8} tenants)",
+        ["placement", "oversub", "p99_us", "viol_rate", "trunk_xing",
+         "trunk_q_us", "spills", "stranded", "frag"],
+        [[r["placement"], f"{r['oversub']:g}", f"{r['p99_us']:.2f}",
+          f"{r['violation_rate']:.4f}", int(r["trunk_crossings"]),
+          f"{r['trunk_queue_us']:.1f}", int(r["pool_spills"]),
+          int(r["stranded_slots"]), f"{r['frag_imbalance']:.3f}"]
+         for r in rows]))
+    if args.save:
+        with open(args.save, "w") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True)
+        print(f"saved {len(rows)} cells to {args.save}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Sweep one workload across systems and local-memory ratios, printing
     a Figure 7/8-style table (optionally saving JSON for plotting)."""
@@ -243,16 +301,22 @@ def cmd_sweep(args) -> int:
     from repro.harness.experiment import sweep_ratios
     from repro.harness.results import save_json
 
-    if args.workload not in ("quicksort", "kmeans", "taxi", "llm"):
+    if args.workload not in ("quicksort", "kmeans", "taxi", "llm", "rack"):
         print("error: sweep supports ['kmeans', 'llm', 'quicksort', "
-              "'taxi']", file=sys.stderr)
+              "'rack', 'taxi']", file=sys.stderr)
         return 2
     if args.pd_splits and args.workload != "llm":
         print("error: --pd-splits only applies to the llm sweep",
               file=sys.stderr)
         return 2
+    if (args.placements or args.oversubs) and args.workload != "rack":
+        print("error: --placements/--oversubs only apply to the rack "
+              "sweep", file=sys.stderr)
+        return 2
     if args.workload == "llm":
         return _sweep_llm(args)
+    if args.workload == "rack":
+        return _sweep_rack(args)
     if args.workload != "taxi" and any(
             kind.startswith("aifm") for kind in args.systems):
         print("error: only the taxi workload has an AIFM port",
@@ -666,6 +730,80 @@ def cmd_repair(args) -> int:
     return 0
 
 
+def cmd_rack(args) -> int:
+    """Run one rack-scale serving pass: tenants striped over an explicit
+    topology (per-link bandwidth, ToR oversubscription) drawing pages
+    from the placement-aware pool. Prints the serving tail, the fabric
+    link report and the pool's placement-outcome metrics; the run
+    replays once and any digest drift is a determinism failure."""
+    from repro.mem.pool import placement_kinds
+    from repro.sim.rack import DEFAULT_RACK, make_rack
+
+    if args.topology is None:
+        args.topology = DEFAULT_RACK
+    if args.placement not in placement_kinds():
+        print(f"error: unknown placement {args.placement!r}; pick from "
+              f"{list(placement_kinds())}", file=sys.stderr)
+        return 2
+    if args.system.startswith("aifm"):
+        print("error: AIFM tenants cannot share the rack's pooled backend "
+              "(bump allocation); pick a paging kernel", file=sys.stderr)
+        return 2
+
+    def one():
+        kwargs = {}
+        if args.spec is not None:
+            kwargs["serve"] = args.spec
+        cluster = make_rack(tenants=args.tenants, topology=args.topology,
+                            placement=args.placement, kind=args.system,
+                            **kwargs)
+        return cluster, cluster.serve()
+
+    try:
+        cluster, report = one()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snap = report.snapshot
+    topo = cluster.topology
+    print(f"{topo.spec()} / {cluster.backend_label}: "
+          f"{len(cluster.tenants)} tenants, {report.spec.to_spec()}")
+    print(format_table("serving tail", ["metric", "value"], [
+        ["offered", report.offered],
+        ["completed", report.completed],
+        ["p50 latency (us)", f"{report.latency.get('p50', 0.0):.2f}"],
+        ["p99 latency (us)", f"{report.latency.get('p99', 0.0):.2f}"],
+        ["violation rate", f"{report.violation_rate:.4f}"],
+        ["goodput rps", f"{report.goodput_rps:,.0f}"],
+    ]))
+    print(format_table("pool placement outcome", ["metric", "value"], [
+        ["allocations", int(snap.value("pool.alloc"))],
+        ["spills (off-home)", int(snap.value("pool.spills"))],
+        ["stranded slots", int(snap.value("pool.stranded_slots"))],
+        ["fragmentation imbalance",
+         f"{snap.value('pool.frag_imbalance'):.3f}"],
+    ]))
+    interesting = [(name, row) for name, row
+                   in cluster.link_report().items() if row["bytes"] > 0]
+    print(format_table(
+        "fabric links (nonzero traffic)",
+        ["link", "MiB", "queue_us", "util"],
+        [[name, f"{row['bytes'] / MIB:.1f}", f"{row['queue_us']:.1f}",
+          f"{row['util']:.3f}"] for name, row in interesting]))
+    print(f"request-trace digest: {report.trace_digest}")
+    print(f"metrics digest: {snap.digest()}")
+    if not args.once:
+        _, repeat = one()
+        if (repeat.trace_digest != report.trace_digest
+                or repeat.snapshot.digest() != snap.digest()):
+            print("error: determinism drift — the repeated run produced a "
+                  "different request trace or metrics digest",
+                  file=sys.stderr)
+            return 1
+        print("determinism: OK (two runs, identical digests)")
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Wall-clock perf suite: run hot kernels, write BENCH_perf.json,
     exit non-zero past the regression threshold."""
@@ -709,7 +847,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="system x ratio grid for one workload")
     p.add_argument("workload", choices=("quicksort", "kmeans", "taxi",
-                                        "llm"))
+                                        "llm", "rack"))
     p.add_argument("--systems", nargs="+",
                    default=["fastswap", "dilos-readahead"],
                    choices=SYSTEM_KINDS)
@@ -719,6 +857,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pd-splits", nargs="+", default=None, metavar="P:D",
                    help="llm only: prefill:decode tenant splits forming "
                         "the grid's second axis (default: 3:1 2:2 1:3)")
+    p.add_argument("--placements", nargs="+", default=None,
+                   metavar="POLICY",
+                   help="rack only: pool placement policies forming the "
+                        "grid's first axis (default: locality load)")
+    p.add_argument("--oversubs", nargs="+", type=float, default=None,
+                   metavar="X",
+                   help="rack only: ToR oversubscription factors forming "
+                        "the grid's second axis (default: 1 4)")
     p.add_argument("--size", type=int, default=None,
                    help="workload size override (elements/rows)")
     p.add_argument("--save", default=None, help="write results JSON here")
@@ -776,6 +922,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="skip the determinism re-run (faster, ungated)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "rack",
+        help="rack-scale serving: pooled memory + link contention")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="service tenants striped over the compute nodes")
+    p.add_argument("--topology", default=None, metavar="SPEC",
+                   help="rack topology spec, e.g. "
+                        "'rack:compute=4,mem=4,link=100,oversub=4' "
+                        "(see docs/TOPOLOGY.md)")
+    p.add_argument("--placement", default="locality",
+                   help="pool placement policy: locality, load, pack or "
+                        "interleave (default: locality)")
+    p.add_argument("--system", default="dilos-readahead",
+                   choices=SYSTEM_KINDS)
+    p.add_argument("--spec", default=None, metavar="SERVESPEC",
+                   type=_serve_spec,
+                   help="replace the preset's serve spec "
+                        "(see docs/SERVING.md)")
+    p.add_argument("--once", action="store_true",
+                   help="skip the determinism re-run (faster, ungated)")
+    p.set_defaults(func=cmd_rack)
 
     p = sub.add_parser(
         "repair",

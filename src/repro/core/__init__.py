@@ -22,8 +22,12 @@ from repro.core.spec import (  # noqa: E402
     backend_label,
     kernel_kinds,
     make_backend,
+    make_topology,
     register_backend,
     register_kernel,
+    register_topology,
+    topology_kinds,
+    topology_label,
 )
 
 __all__ = [
@@ -45,6 +49,10 @@ __all__ = [
     "coalesce_ranges",
     "kernel_kinds",
     "make_backend",
+    "make_topology",
     "register_backend",
     "register_kernel",
+    "register_topology",
+    "topology_kinds",
+    "topology_label",
 ]

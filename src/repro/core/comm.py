@@ -40,6 +40,7 @@ class CommModule:
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         registry=None,
+        fabric=None,
     ) -> None:
         self._clock = clock
         self._model = model
@@ -55,6 +56,10 @@ class CommModule:
         self._retry = RetryPolicy.coerce(retry) if (
             retry is not None or self.fault_plan is not None) else None
         self._registry = registry
+        #: Optional :class:`~repro.net.topology.FabricPort`: every QP of
+        #: this node then pays rack-link contention per verb. ``None``
+        #: keeps the flat (private-wire) model bit-for-bit.
+        self._fabric = fabric
         self._qps: Dict[Tuple[str, int], object] = {}
 
     def _make_raw(self, name: str) -> QueuePair:
@@ -66,6 +71,7 @@ class CommModule:
             stats=self.stats,
             extra_completion_delay=self._extra_delay,
             tracer=self.tracer,
+            fabric=self._fabric,
         )
 
     def qp(self, module: str, core: int = 0):

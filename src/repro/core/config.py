@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.common.units import MIB
 from repro.net.faults import (
@@ -68,6 +68,12 @@ class DilosConfig:
     #: a :class:`repro.net.RetryPolicy`. Only used when ``net_faults``
     #: is set.
     net_retry: Optional[RetryPolicy] = None
+    #: Rack-fabric attachment: a :class:`repro.net.topology.FabricPort`
+    #: binding this node to a shared :class:`~repro.net.topology
+    #: .RackTopology`, or ``None`` (the flat private-wire model —
+    #: bit-identical to the historical timing path). Set via
+    #: ``SystemSpec(topology=...)``.
+    fabric: Optional[Any] = None
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def __post_init__(self) -> None:

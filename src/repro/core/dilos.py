@@ -108,6 +108,7 @@ class DilosKernel:
             fault_plan=config.net_faults,
             retry=config.net_retry,
             registry=self.registry,
+            fabric=config.fabric,
         )
         self.page_manager = PageManager(
             clock, config, self._pt, frames, addr_space, vm.tlb,

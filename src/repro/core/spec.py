@@ -30,12 +30,18 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.common.clock import Clock
+# The shared ``kind:key=value,...`` grammar every spec knob (backend=,
+# serve=, repair=, net_faults=, topology=) parses with. It lives in
+# repro.common so the knob modules below us in the import graph can use
+# it too; this re-export is the public face for spec authors.
+from repro.common.specparse import Cast, parse_kv_spec, split_kind
 from repro.common.units import MIB, PAGE_SIZE, align_up
 from repro.mem.cluster import (
     ParityStripedMemory,
     ReplicatedMemory,
     ShardedMemory,
 )
+from repro.mem.pool import PooledMemory
 from repro.mem.remote import MemoryNode
 from repro.mem.repair import RepairManager, RepairPolicy, coerce_repair_policy
 from repro.net.faults import (
@@ -44,6 +50,7 @@ from repro.net.faults import (
     coerce_fault_plan,
     coerce_retry_policy,
 )
+from repro.net.topology import FabricPort, RackTopology
 from repro.obs import Observability
 from repro.obs.tracer import NULL_TRACER
 
@@ -121,7 +128,8 @@ def backend_kinds() -> Tuple[str, ...]:
 
 
 #: Spec templates for help text: every registered kind with its argument.
-BACKEND_SPEC_EXAMPLES = ("node", "sharded:4", "replicated:3", "parity:4+1")
+BACKEND_SPEC_EXAMPLES = ("node", "sharded:4", "replicated:3", "parity:4+1",
+                         "pool:4/locality")
 
 
 def _node_capacity(total_bytes: int, nodes: int) -> int:
@@ -177,6 +185,16 @@ def _make_parity(arg: str, remote_bytes: int) -> ParityStripedMemory:
     return ParityStripedMemory(nodes)
 
 
+@register_backend("pool")
+def _make_pool(arg: str, remote_bytes: int) -> PooledMemory:
+    count_txt, _, policy = (arg or "2").partition("/")
+    count = _parse_count(count_txt, "pool:N[/policy]", 1)
+    capacity = _node_capacity(remote_bytes, count)
+    return PooledMemory([MemoryNode(capacity, name=f"pool{i}")
+                         for i in range(count)],
+                        policy=policy or "load")
+
+
 def make_backend(spec: BackendSpec, remote_bytes: int) -> BackendLike:
     """Build (or pass through) the memory backend for a spec.
 
@@ -196,7 +214,7 @@ def make_backend(spec: BackendSpec, remote_bytes: int) -> BackendLike:
         return spec
     if remote_bytes <= 0:
         raise ValueError("remote capacity must be positive")
-    kind, _, arg = spec.partition(":")
+    kind, arg = split_kind(spec, default="node")
     factory = _BACKENDS.get(kind)
     if factory is None:
         raise ValueError(f"unknown backend kind {spec!r}; "
@@ -211,6 +229,88 @@ def backend_label(spec: BackendSpec) -> str:
     if isinstance(spec, str):
         return spec
     return type(spec).__name__
+
+
+# -- the topology registry ---------------------------------------------------
+
+#: What a spec's ``topology`` field accepts: a registry spec string, a
+#: ready :class:`~repro.net.topology.RackTopology` (shared fabrics), a
+#: pre-bound :class:`~repro.net.topology.FabricPort` (the rack
+#: scheduler's per-tenant view), or ``None`` (the flat model).
+TopologySpec = Union[str, RackTopology, FabricPort, None]
+TopologyFactory = Callable[[str], Optional[RackTopology]]
+
+_TOPOLOGIES: Dict[str, TopologyFactory] = {}
+
+
+def register_topology(
+        name: str) -> Callable[[TopologyFactory], TopologyFactory]:
+    """Register a topology factory under spec prefix ``name`` (decorator).
+
+    The factory receives the argument text after the colon (``""`` when
+    absent) and returns a topology object — or ``None`` for the flat
+    (uncontended, fixed-latency) model.
+    """
+    def deco(factory: TopologyFactory) -> TopologyFactory:
+        if name in _TOPOLOGIES:
+            raise ValueError(f"topology kind {name!r} already registered")
+        _TOPOLOGIES[name] = factory
+        return factory
+    return deco
+
+
+def topology_kinds() -> Tuple[str, ...]:
+    """All registered topology spec prefixes, in registration order."""
+    return tuple(_TOPOLOGIES)
+
+
+#: Spec templates for help text, mirroring ``BACKEND_SPEC_EXAMPLES``.
+TOPOLOGY_SPEC_EXAMPLES = ("flat", "rack:compute=4,mem=2,link=100,oversub=4")
+
+
+@register_topology("flat")
+def _make_flat(arg: str) -> None:
+    if arg:
+        raise ValueError("topology 'flat' takes no argument")
+    return None
+
+
+@register_topology("rack")
+def _make_rack(arg: str) -> RackTopology:
+    return RackTopology.from_spec(f"rack:{arg}")
+
+
+def make_topology(spec: TopologySpec):
+    """Build (or pass through) the fabric topology for a spec.
+
+    ``None``/``"flat"``/``""`` mean the flat model (no fabric, the
+    historical timing path — golden digests pin it). A ready
+    :class:`RackTopology` or :class:`FabricPort` passes through so many
+    specs can share one contended fabric.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, (RackTopology, FabricPort)):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"cannot build a topology from {spec!r}")
+    kind, arg = split_kind(spec, default="flat")
+    factory = _TOPOLOGIES.get(kind)
+    if factory is None:
+        raise ValueError(f"unknown topology kind {spec!r}; "
+                         f"pick from {TOPOLOGY_SPEC_EXAMPLES}")
+    return factory(arg)
+
+
+def topology_label(spec: TopologySpec) -> str:
+    """A short presentation label for a topology spec or object."""
+    if spec is None:
+        return "flat"
+    if isinstance(spec, str):
+        return spec or "flat"
+    if isinstance(spec, FabricPort):
+        return spec.topology.spec()
+    return spec.spec()
 
 
 # -- the spec ----------------------------------------------------------------
@@ -252,6 +352,12 @@ class SystemSpec:
     #: ``None``. Typed ``Any`` to keep :mod:`repro.serve` out of the
     #: boot layer's import graph (it is coerced lazily below).
     serve: Optional[Any] = None
+    #: Fabric topology this node's QPs are charged against: a registry
+    #: spec string (``"rack:compute=4,mem=2,oversub=4"``), a shared
+    #: :class:`~repro.net.topology.RackTopology`, a pre-bound
+    #: :class:`~repro.net.topology.FabricPort`, or ``None``/``"flat"``
+    #: (the historical uncontended model — golden digests pin it).
+    topology: TopologySpec = None
     #: Extra keyword arguments for the kernel's config dataclass.
     overrides: Dict[str, Any] = field(default_factory=dict)
 
@@ -259,6 +365,11 @@ class SystemSpec:
         self.net_faults = coerce_fault_plan(self.net_faults)
         self.net_retry = coerce_retry_policy(self.net_retry)
         self.repair = coerce_repair_policy(self.repair)
+        self.topology = make_topology(self.topology)
+        # The port this boot charges verbs through; a bare topology is
+        # bound (compute 0, backend-provided resolver) in ``boot()``.
+        self._fabric_port: Optional[FabricPort] = (
+            self.topology if isinstance(self.topology, FabricPort) else None)
         if self.serve is not None:
             # Deferred import: repro.serve imports the apps layer, which
             # boots through this module — a top-level import would cycle.
@@ -274,6 +385,8 @@ class SystemSpec:
         kwargs = dict(self.overrides)
         kwargs.setdefault("net_faults", self.net_faults)
         kwargs.setdefault("net_retry", self.net_retry)
+        if self._fabric_port is not None:
+            kwargs.setdefault("fabric", self._fabric_port)
         return kwargs
 
     def with_shared(self, clock: Clock, backend: BackendLike) -> "SystemSpec":
@@ -296,6 +409,13 @@ class SystemSpec:
             backend = None  # kernels build their default single node
         else:
             backend = make_backend(self.backend, self.remote_mem_bytes)
+        if isinstance(self.topology, RackTopology) and \
+                self._fabric_port is None:
+            # A bare topology (not a pre-bound port): this node is
+            # compute 0, routed by the backend's offset->node map when
+            # it has one (PooledMemory), else everything goes home.
+            resolver = getattr(backend, "node_of", None)
+            self._fabric_port = self.topology.port(0, resolver=resolver)
         system = builder(self, backend)
         if self.repair is not None:
             if backend is None or \
@@ -371,14 +491,23 @@ __all__: List[str] = [
     "BACKEND_SPEC_EXAMPLES",
     "BackendLike",
     "BackendSpec",
+    "Cast",
     "DILOS_FLAVORS",
     "SystemSpec",
+    "TOPOLOGY_SPEC_EXAMPLES",
+    "TopologySpec",
     "backend_kinds",
     "backend_label",
     "kernel_builder",
     "kernel_kinds",
     "make_backend",
+    "make_topology",
+    "parse_kv_spec",
     "register_backend",
     "register_kernel",
+    "register_topology",
+    "split_kind",
+    "topology_kinds",
+    "topology_label",
     "unregister_kernel",
 ]

@@ -240,6 +240,21 @@ def _llm_decode_dilos() -> PerfRun:
                    system.metrics().digest())
 
 
+def _rack_redis_pool() -> PerfRun:
+    """Rack-level: open-loop redis serving over the pooled, contended
+    fabric (locality placement on an oversubscribed ToR)."""
+    from repro.sim.rack import make_rack
+
+    serve = ("poisson:rate=400k,clients=1m,slo=2ms,requests=600,"
+             "seed=29,balance=round_robin")
+    cluster = make_rack(tenants=8,
+                        topology="rack:compute=4,mem=4,link=100,oversub=4",
+                        placement="locality", serve=serve, n_keys=32)
+    report = cluster.serve()
+    return PerfRun(cluster.clock.now, report.completed,
+                   cluster.metrics().digest())
+
+
 CASES: List[PerfCase] = [
     PerfCase("seqread_dilos",
              "DiLOS resident 4 MiB sequential read (TLB-hit fast path)",
@@ -274,6 +289,9 @@ CASES: List[PerfCase] = [
     PerfCase("llm_decode_dilos",
              "DiLOS LLM decode: random KV-cache gathers at 25% local",
              _llm_decode_dilos),
+    PerfCase("rack_redis_pool",
+             "8 redis tenants served over a pooled 4:1-oversubscribed rack",
+             _rack_redis_pool),
 ]
 
 

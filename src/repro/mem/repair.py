@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.common.clock import Clock
+from repro.common.specparse import parse_kv_spec
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
 from repro.net.latency import LatencyModel
 from repro.net.qp import NetStats, QueuePair
@@ -191,25 +192,14 @@ class RepairPolicy:
     @classmethod
     def from_spec(cls, spec: str) -> "RepairPolicy":
         """Parse ``"resilver_period=200,resilver_batch=8,scrub_period=5000,
-        scrub_batch=16"``; every key optional, ``""`` means defaults."""
+        scrub_batch=16"``; every key optional, ``""`` means defaults.
+        Grammar shared with every other spec knob
+        (:func:`repro.common.specparse.parse_kv_spec`)."""
+        casts = {key: cast for key, (_attr, cast) in cls._SPEC_KEYS.items()}
         policy = cls()
-        for part in filter(None, (p.strip() for p in spec.split(","))):
-            key, eq, value = part.partition("=")
-            if not eq:
-                raise ValueError(
-                    f"repair spec entry {part!r} is not key=value")
-            try:
-                field_name, cast = cls._SPEC_KEYS[key]
-            except KeyError:
-                raise ValueError(
-                    f"unknown repair spec key {key!r}; pick from "
-                    f"{sorted(cls._SPEC_KEYS)}") from None
-            try:
-                setattr(policy, field_name, cast(value))
-            except ValueError:
-                raise ValueError(
-                    f"repair spec key {key!r} needs a {cast.__name__}, "
-                    f"got {value!r}") from None
+        for key, value in parse_kv_spec(spec, casts,
+                                        what="repair spec").items():
+            setattr(policy, cls._SPEC_KEYS[key][0], value)
         return policy.validate()
 
 

@@ -13,22 +13,32 @@ from repro.net.faults import (
 from repro.net.latency import DEFAULT_LATENCY, LatencyModel, cycles_to_us, CPU_GHZ
 from repro.net.qp import Completion, NetStats, QueuePair
 from repro.net.reliable import RELIABILITY_METRICS, ReliableQP
+from repro.net.topology import (
+    FabricPort,
+    Link,
+    RackTopology,
+    coerce_topology,
+)
 
 __all__ = [
     "CPU_GHZ",
     "Completion",
     "DEFAULT_LATENCY",
+    "FabricPort",
     "Fault",
     "FaultPlan",
     "LatencyModel",
+    "Link",
     "NetStats",
     "QueuePair",
     "RELIABILITY_METRICS",
+    "RackTopology",
     "ReliableQP",
     "RetryPolicy",
     "TransportError",
     "checksum",
     "coerce_fault_plan",
     "coerce_retry_policy",
+    "coerce_topology",
     "cycles_to_us",
 ]

@@ -36,7 +36,14 @@ import zlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.rng import make_rng
+from repro.common.specparse import parse_kv_spec
 from repro.mem.remote import NodeFailedError
+
+
+def _parse_flap(value: str) -> Tuple[float, float]:
+    """``"PERIOD:DOWN"`` (µs) -> ``(flap_period_us, flap_down_us)``."""
+    period, _, down = value.partition(":")
+    return float(period), float(down) if down else 0.0
 
 
 class TransportError(NodeFailedError):
@@ -152,22 +159,18 @@ class FaultPlan:
 
             drop=0.01,corrupt=0.005,delay=0.02,delay_us=30,seed=7,flap=2000:100
         """
+        casts = {
+            "drop": float, "corrupt": float, "delay": float,
+            "delay_us": float, "seed": int, "max_consecutive": int,
+            "flap": _parse_flap,
+        }
         kwargs: Dict[str, object] = {}
-        for part in filter(None, (p.strip() for p in spec.split(","))):
-            if "=" not in part:
-                raise ValueError(f"bad --net-faults entry {part!r}; "
-                                 "expected key=value")
-            key, value = (s.strip() for s in part.split("=", 1))
-            if key in ("drop", "corrupt", "delay", "delay_us"):
-                kwargs[key] = float(value)
-            elif key in ("seed", "max_consecutive"):
-                kwargs[key] = int(value)
-            elif key == "flap":
-                period, _, down = value.partition(":")
-                kwargs["flap_period_us"] = float(period)
-                kwargs["flap_down_us"] = float(down) if down else 0.0
+        for key, value in parse_kv_spec(spec, casts,
+                                        what="--net-faults").items():
+            if key == "flap":
+                kwargs["flap_period_us"], kwargs["flap_down_us"] = value
             else:
-                raise ValueError(f"unknown --net-faults key {key!r}")
+                kwargs[key] = value
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def spec(self) -> str:

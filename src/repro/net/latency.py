@@ -175,6 +175,20 @@ class LatencyModel:
         """Microseconds consumed by ``n`` CPU cycles."""
         return n * self.cpu_cycle
 
+    @staticmethod
+    def link_per_byte_us(gbps: float) -> float:
+        """Serialization cost (µs/byte) of one rack link at ``gbps``.
+
+        The link-aware charging path: with a
+        :class:`~repro.net.topology.FabricPort` attached, a verb pays
+        this per byte *per link crossed* (plus queueing behind earlier
+        transfers) on top of the NIC wire model above — the flat model
+        remains the calibrated direct-attached baseline.
+        """
+        if gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        return 1.0 / (125.0 * gbps)
+
 
 #: Shared default model; experiments that want to perturb a constant build
 #: their own instance instead of mutating this one.

@@ -117,7 +117,7 @@ class QueuePair:
     __slots__ = ("name", "_clock", "_model", "_remote", "_stats", "tracer",
                  "extra_completion_delay", "_wire_free", "posted",
                  "_inflight", "_listening", "_per_byte", "_read_base",
-                 "_write_base", "_post_overhead")
+                 "_write_base", "_post_overhead", "_fabric")
 
     def __init__(
         self,
@@ -128,6 +128,7 @@ class QueuePair:
         stats: NetStats,
         extra_completion_delay: float = 0.0,
         tracer=NULL_TRACER,
+        fabric=None,
     ) -> None:
         self.name = name
         self._clock = clock
@@ -139,6 +140,12 @@ class QueuePair:
         #: Additional delay applied to every completion; used for the
         #: DiLOS-TCP / AIFM-TCP emulation (+14,000 cycles, §6.2).
         self.extra_completion_delay = extra_completion_delay
+        #: Optional :class:`~repro.net.topology.FabricPort`: when set,
+        #: every verb additionally pays the contention delay of the rack
+        #: links between this QP's compute node and the memory node that
+        #: owns the target offset. ``None`` (the default) is the flat
+        #: topology — the timing path is untouched, bit for bit.
+        self._fabric = fabric
         self._wire_free = 0.0
         self.posted = 0
         # Model constants prebound once: every verb reads them, and the
@@ -160,13 +167,21 @@ class QueuePair:
     # -- internal ---------------------------------------------------------
 
     def _schedule(self, wire_time: float, base: float,
-                  at: Optional[float] = None) -> float:
+                  at: Optional[float] = None,
+                  offset: Optional[int] = None, size: int = 0) -> float:
         """Charge the wire for one transfer and return the completion time.
 
         With ``at=None`` the post happens *now*: the CPU is advanced past
         the doorbell/WQE overhead. A future ``at`` (reliable-transport
         retries, scheduled ahead on the simulated clock) charges the same
         posting overhead into the timeline without moving the clock.
+
+        With a fabric port attached, the transfer additionally crosses
+        the rack links toward the memory node owning ``offset``
+        (queueing + store-and-forward serialization); the delay extends
+        this QP's wire occupancy — in-order delivery per QP, so a verb
+        stuck behind a congested trunk blocks its successors exactly
+        like a large transfer does.
         """
         if at is None:
             self._clock.advance(self._post_overhead)
@@ -175,6 +190,8 @@ class QueuePair:
             at += self._post_overhead
         start = max(at, self._wire_free)
         wire_done = start + wire_time
+        if self._fabric is not None:
+            wire_done += self._fabric.charge(offset, size, start)
         self._wire_free = wire_done
         self.posted += 1
         return wire_done + base + self.extra_completion_delay
@@ -210,12 +227,15 @@ class QueuePair:
 
     def charge_attempt(self, size: int, direction: str,
                        at: Optional[float] = None,
-                       segments: int = 1) -> float:
+                       segments: int = 1,
+                       offset: Optional[int] = None) -> float:
         """Charge wire occupancy + byte accounting for one transmission
         attempt without touching the remote store; returns the completion
         time. :class:`~repro.net.reliable.ReliableQP` uses this for every
         attempt (it owns the data path itself so that attempts the fault
-        plan kills on the wire have no remote side effects)."""
+        plan kills on the wire have no remote side effects). ``offset``
+        routes the attempt across the rack fabric when a port is
+        attached."""
         if direction not in ("read", "write"):
             raise ValueError(f"unknown direction {direction!r}")
         wire = size * self._per_byte
@@ -223,7 +243,7 @@ class QueuePair:
             wire += self._model.sg_overhead(segments)
         base = (self._read_base if direction == "read"
                 else self._write_base)
-        when = self._schedule(wire, base, at=at)
+        when = self._schedule(wire, base, at=at, offset=offset, size=size)
         self._stats.record(when, size, direction)
         if self.tracer.enabled:
             post = at if at is not None else self._clock.now
@@ -242,7 +262,8 @@ class QueuePair:
     ) -> Completion:
         """One-sided READ of ``size`` bytes at ``remote_offset``."""
         data = self._remote.read_bytes(remote_offset, size)
-        when = self._schedule(size * self._per_byte, self._read_base)
+        when = self._schedule(size * self._per_byte, self._read_base,
+                              offset=remote_offset, size=size)
         self._stats.record(when, size, "read")
         if self.tracer.enabled:
             self.tracer.complete("net.read", "net", self._clock.now,
@@ -261,7 +282,8 @@ class QueuePair:
         """One-sided WRITE of ``data`` to ``remote_offset``."""
         self._remote.write_bytes(remote_offset, data)
         when = self._schedule(len(data) * self._per_byte,
-                              self._write_base)
+                              self._write_base,
+                              offset=remote_offset, size=len(data))
         self._stats.record(when, len(data), "write")
         if self.tracer.enabled:
             self.tracer.complete("net.write", "net", self._clock.now,
@@ -288,7 +310,10 @@ class QueuePair:
             self._remote.read_bytes(off, size) for off, size in segments)
         total = len(payload)
         wire = total * self._per_byte + self._model.sg_overhead(len(segments))
-        when = self._schedule(wire, self._read_base)
+        # SG lists are built per batch against one backend; the fabric
+        # routes the whole vector by its first segment's home node.
+        when = self._schedule(wire, self._read_base,
+                              offset=segments[0][0], size=total)
         self._stats.record(when, total, "read")
         if self.tracer.enabled:
             self.tracer.complete("net.read", "net", self._clock.now,
@@ -312,7 +337,8 @@ class QueuePair:
             self._remote.write_bytes(off, data)
             total += len(data)
         wire = total * self._per_byte + self._model.sg_overhead(len(segments))
-        when = self._schedule(wire, self._write_base)
+        when = self._schedule(wire, self._write_base,
+                              offset=segments[0][0], size=total)
         self._stats.record(when, total, "write")
         if self.tracer.enabled:
             self.tracer.complete("net.write", "net", self._clock.now,

@@ -157,6 +157,7 @@ class ReliableQP:
         writer: Optional[Callable[[], None]],
         wire_payload: Optional[bytes],
         on_complete: Optional[Callable[[Completion], None]],
+        offset: Optional[int] = None,
     ) -> Completion:
         policy = self._policy
         plan = self._plan
@@ -170,7 +171,7 @@ class ReliableQP:
         for attempt in range(policy.max_attempts):
             qp = self._qps[self._active]
             when = qp.charge_attempt(size, direction, at=at,
-                                     segments=segments)
+                                     segments=segments, offset=offset)
             post_time = self._clock.now if at is None else at + post_overhead
 
             failure: Optional[str] = None
@@ -273,7 +274,8 @@ class ReliableQP:
         return self._transact(
             "read", size, 1,
             reader=lambda: self._remote.read_bytes(remote_offset, size),
-            writer=None, wire_payload=None, on_complete=on_complete)
+            writer=None, wire_payload=None, on_complete=on_complete,
+            offset=remote_offset)
 
     def post_write(
         self,
@@ -286,7 +288,8 @@ class ReliableQP:
         return self._transact(
             "write", len(data), 1, reader=None,
             writer=lambda: self._remote.write_bytes(remote_offset, data),
-            wire_payload=data, on_complete=on_complete)
+            wire_payload=data, on_complete=on_complete,
+            offset=remote_offset)
 
     def post_read_sg(
         self,
@@ -304,7 +307,8 @@ class ReliableQP:
 
         return self._transact("read", total, len(segments), reader=reader,
                               writer=None, wire_payload=None,
-                              on_complete=on_complete)
+                              on_complete=on_complete,
+                              offset=segments[0][0])
 
     def post_write_sg(
         self,
@@ -323,7 +327,7 @@ class ReliableQP:
         return self._transact(
             "write", total, len(segments), reader=None, writer=writer,
             wire_payload=b"".join(data for _off, data in segments),
-            on_complete=on_complete)
+            on_complete=on_complete, offset=segments[0][0])
 
     # -- waiting -------------------------------------------------------------
 

@@ -167,8 +167,28 @@ class ServeFrontend:
         for tenant in self._tenants:
             registry.counter(f"tenant.{tenant.name}.served")
 
+    def _reset_instruments(self) -> None:
+        """Zero every instrument this frontend owns.
+
+        The cluster registry shares instruments by name, so a second
+        ``cluster.serve()`` on the same cluster would otherwise keep
+        accumulating into the first run's ``serve.*`` counters and
+        double-count the snapshot. Each run reports itself only.
+        """
+        for inst in (self._offered, self._admitted, self._shed,
+                     self._completed, self._errors, self._violations,
+                     self._goodput, self._latency, self._depth_hist,
+                     self._ttft, self._tpot):
+            inst.reset()
+        self._offered_rps.set(0.0)
+        self._goodput_rps.set(0.0)
+        registry = self.cluster.registry
+        for tenant in self._tenants:
+            registry.counter(f"tenant.{tenant.name}.served").reset()
+
     def run(self) -> ServeReport:
         """Play the whole arrival stream; returns the run's report."""
+        self._reset_instruments()
         spec = self.spec
         admission: AdmissionPolicy = make_admission(spec.admission)
         admission.reset()

@@ -30,6 +30,8 @@ import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
+from repro.common.specparse import parse_kv_spec, split_kind
+
 #: Spec templates for help text: every registered kind with its flavor.
 ARRIVAL_SPEC_EXAMPLES = (
     "poisson:rate=5k,clients=1m,slo=2ms",
@@ -110,40 +112,39 @@ class ServeSpec:
         if self.requests <= 0:
             raise ValueError("requests must be positive")
 
+    #: Spec keys -> (dataclass field or ``None`` for :attr:`params`,
+    #: value cast) — the declarative half of the shared grammar in
+    #: :mod:`repro.common.specparse`.
+    _SPEC_KEYS = {
+        "rate": ("rate_rps", lambda v: parse_scaled(v, "rate")),
+        "clients": ("clients", lambda v: int(parse_scaled(v, "clients"))),
+        "slo": ("slo_us", lambda v: parse_duration_us(v, "slo")),
+        "requests": ("requests", lambda v: int(parse_scaled(v, "requests"))),
+        "seed": ("seed", int),
+        "admission": ("admission", str),
+        "balance": ("balance", str),
+        "on": (None, lambda v: parse_duration_us(v, "on")),
+        "off": (None, lambda v: parse_duration_us(v, "off")),
+        "period": (None, lambda v: parse_duration_us(v, "period")),
+        "burst_rate": (None, lambda v: parse_scaled(v, "burst_rate")),
+        "idle_rate": (None, lambda v: parse_scaled(v, "idle_rate")),
+        "floor": (None, lambda v: parse_scaled(v, "floor")),
+    }
+
     @classmethod
     def from_spec(cls, spec: str) -> "ServeSpec":
         """Parse a serve spec string (see the module docstring)."""
-        kind, _, args = spec.partition(":")
-        kind = kind.strip() or "poisson"
+        kind, args = split_kind(spec, default="poisson")
+        casts = {key: cast for key, (_target, cast) in cls._SPEC_KEYS.items()}
+        parsed = parse_kv_spec(args, casts, what="serve spec")
         fields: Dict[str, Any] = {"kind": kind}
         params: Dict[str, float] = {}
-        if args.strip():
-            for item in args.split(","):
-                key, eq, value = item.partition("=")
-                key, value = key.strip(), value.strip()
-                if not eq or not key or not value:
-                    raise ValueError(
-                        f"bad serve spec item {item!r}: expected key=value")
-                if key == "rate":
-                    fields["rate_rps"] = parse_scaled(value, "rate")
-                elif key == "clients":
-                    fields["clients"] = int(parse_scaled(value, "clients"))
-                elif key == "slo":
-                    fields["slo_us"] = parse_duration_us(value, "slo")
-                elif key == "requests":
-                    fields["requests"] = int(parse_scaled(value, "requests"))
-                elif key == "seed":
-                    fields["seed"] = int(value)
-                elif key == "admission":
-                    fields["admission"] = value
-                elif key == "balance":
-                    fields["balance"] = value
-                elif key in ("on", "off", "period"):
-                    params[key] = parse_duration_us(value, key)
-                elif key in ("burst_rate", "idle_rate", "floor"):
-                    params[key] = parse_scaled(value, key)
-                else:
-                    raise ValueError(f"unknown serve spec key {key!r}")
+        for key, value in parsed.items():
+            target = cls._SPEC_KEYS[key][0]
+            if target is None:
+                params[key] = value
+            else:
+                fields[target] = value
         fields["params"] = params
         return cls(**fields)
 

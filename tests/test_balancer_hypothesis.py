@@ -1,0 +1,83 @@
+"""Property-based tests for the consistent-hash balancer.
+
+The ring's selling point is *bounded key movement*: membership changes
+remap only the keyspace adjacent to the joining/leaving tenant's ring
+points, never shuffle keys between two surviving tenants. ``pick``
+returns an *index* into the tenant tuple and indices shift on
+membership change, so every property compares owners by tenant *name*.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.balancer import ConsistentHashBalancer
+
+tenant_names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6),
+    min_size=2, max_size=6, unique=True)
+
+routing_keys = st.lists(st.binary(min_size=1, max_size=16),
+                        min_size=1, max_size=32, unique=True)
+
+
+def owners(tenants, keys, replicas=64):
+    """Map each routing key to its owner's *name* under the ring."""
+    ring = ConsistentHashBalancer(tenants, replicas=replicas)
+    depths = [0] * len(tenants)
+    return {key: ring.tenants[ring.pick(key, depths)] for key in keys}
+
+
+@settings(max_examples=50, deadline=None)
+@given(tenants=tenant_names, keys=routing_keys)
+def test_ring_is_deterministic(tenants, keys):
+    assert owners(tenants, keys) == owners(tenants, keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tenants=tenant_names, keys=routing_keys)
+def test_enrollment_order_does_not_matter(tenants, keys):
+    """Ownership depends only on the membership *set*, not the order the
+    tenants were enrolled in."""
+    assert owners(tenants, keys) == owners(sorted(tenants, reverse=True),
+                                           keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tenants=tenant_names,
+       joiner=st.text(alphabet="ABCDEFGH", min_size=1, max_size=6),
+       keys=routing_keys)
+def test_join_moves_keys_only_to_joiner(tenants, joiner, keys):
+    """When a tenant joins, every key that changes owner moves TO the
+    joiner — no key is shuffled between two pre-existing tenants."""
+    before = owners(tenants, keys)
+    after = owners(tenants + [joiner], keys)
+    for key in keys:
+        if after[key] != before[key]:
+            assert after[key] == joiner
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), tenants=tenant_names, keys=routing_keys)
+def test_leave_moves_only_departed_keys(data, tenants, keys):
+    """When a tenant leaves, only the keys it owned change hands, and
+    the survivors' keys stay put."""
+    leaver = data.draw(st.sampled_from(tenants), label="leaver")
+    survivors = [t for t in tenants if t != leaver]
+    before = owners(tenants, keys)
+    after = owners(survivors, keys)
+    for key in keys:
+        if before[key] == leaver:
+            assert after[key] != leaver
+        else:
+            assert after[key] == before[key]
+
+
+@settings(max_examples=50, deadline=None)
+@given(tenants=tenant_names, keys=routing_keys)
+def test_affinity_within_one_instance(tenants, keys):
+    """Repeated picks for the same key on one live ring always agree,
+    whatever the queue depths are doing."""
+    ring = ConsistentHashBalancer(tenants)
+    for key in keys:
+        idle = ring.pick(key, [0] * len(tenants))
+        busy = ring.pick(key, list(range(len(tenants))))
+        assert idle == busy

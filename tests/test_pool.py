@@ -1,0 +1,218 @@
+"""Tests for the global pooled allocator (repro.mem.pool)."""
+
+import pytest
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core.spec import make_backend
+from repro.mem.pool import (
+    PlacementPolicy,
+    PooledMemory,
+    make_placement,
+    placement_kinds,
+    register_placement,
+)
+from repro.mem.remote import MemoryNode
+
+
+def pool_of(nodes=3, slots=8, policy="load"):
+    return PooledMemory([MemoryNode(slots * PAGE_SIZE) for _ in range(nodes)],
+                        policy=policy)
+
+
+def node_index(pool, slot):
+    return slot // pool.node_slots
+
+
+class TestPlacementRegistry:
+    def test_kinds(self):
+        assert set(placement_kinds()) == {"locality", "load", "pack",
+                                          "interleave"}
+
+    def test_make_by_name_and_passthrough(self):
+        policy = make_placement("locality")
+        assert policy.prefers_home
+        assert make_placement(policy) is policy
+        assert make_placement(None).name == "load"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            make_placement("random")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_placement("load")(PlacementPolicy)
+
+
+class TestPolicies:
+    def test_locality_prefers_home(self):
+        pool = pool_of(policy="locality")
+        slots = [pool.alloc_for(1) for _ in range(8)]
+        assert all(node_index(pool, s) == 1 for s in slots)
+        assert pool.registry.snapshot().counters["pool.spills"] == 0
+
+    def test_locality_spills_to_nearest(self):
+        pool = pool_of(nodes=3, slots=2, policy="locality")
+        for _ in range(2):
+            pool.alloc_for(1)
+        spilled = pool.alloc_for(1)
+        # Home node 1 is full; |0-1| == |2-1| ties break to the lower
+        # index.
+        assert node_index(pool, spilled) == 0
+        assert pool.registry.snapshot().counters["pool.spills"] == 1
+
+    def test_load_balances(self):
+        pool = pool_of(policy="load")
+        slots = [pool.alloc_for(0) for _ in range(6)]
+        assert sorted(node_index(pool, s) for s in slots) == [0, 0, 1, 1,
+                                                             2, 2]
+        # Off-home placement is the policy's job, not a spill.
+        assert pool.registry.snapshot().counters["pool.spills"] == 0
+
+    def test_pack_first_fit(self):
+        pool = pool_of(nodes=3, slots=2, policy="pack")
+        nodes = [node_index(pool, pool.alloc_for(2)) for _ in range(5)]
+        assert nodes == [0, 0, 1, 1, 2]
+
+    def test_interleave_rotates(self):
+        pool = pool_of(policy="interleave")
+        nodes = [node_index(pool, pool.alloc_for(0)) for _ in range(6)]
+        assert nodes == [0, 1, 2, 0, 1, 2]
+
+    def test_exhaustion_raises(self):
+        for policy in placement_kinds():
+            pool = pool_of(nodes=2, slots=2, policy=policy)
+            for _ in range(4):
+                pool.alloc_for(0)
+            with pytest.raises(OutOfMemoryError):
+                pool.alloc_for(0)
+
+
+class TestSlotEncoding:
+    def test_contiguous_per_node(self):
+        pool = pool_of(nodes=2, slots=4, policy="pack")
+        slots = [pool.alloc_for(0) for _ in range(8)]
+        assert slots == list(range(8))
+        assert [pool.node_of(pool.slot_offset(s)) for s in slots] == \
+            [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_node_of_bounds(self):
+        pool = pool_of(nodes=2, slots=4)
+        with pytest.raises(ValueError):
+            pool.node_of(8 * PAGE_SIZE)
+
+    def test_free_slot_returns_to_owner(self):
+        pool = pool_of(nodes=2, slots=2, policy="pack")
+        slot = pool.alloc_for(0)
+        assert pool.nodes[0].free_slots == 1
+        pool.free_slot(slot)
+        assert pool.nodes[0].free_slots == 2
+        assert pool.registry.snapshot().counters["pool.free"] == 1
+
+
+class TestDataPath:
+    def test_read_write_round_trip(self):
+        pool = pool_of(nodes=2, slots=4)
+        slot = pool.alloc_slot()
+        offset = pool.slot_offset(slot)
+        pool.write_bytes(offset, b"u" * PAGE_SIZE)
+        assert pool.read_bytes(offset, PAGE_SIZE) == b"u" * PAGE_SIZE
+
+    def test_cross_node_extent(self):
+        """An extent spanning the node boundary splits transparently."""
+        pool = pool_of(nodes=2, slots=2, policy="pack")
+        for _ in range(4):
+            pool.alloc_slot()
+        boundary = 2 * PAGE_SIZE  # last page of node 0 starts one before
+        data = bytes(range(256)) * 32  # 2 pages
+        pool.write_bytes(boundary - PAGE_SIZE, data)
+        assert pool.read_bytes(boundary - PAGE_SIZE, 2 * PAGE_SIZE) == data
+
+    def test_capacity_sums(self):
+        pool = pool_of(nodes=3, slots=8)
+        assert pool.capacity == 3 * 8 * PAGE_SIZE
+        assert pool.total_slots == 24
+        assert pool.free_slots == 24
+
+    def test_resilver_unsupported(self):
+        assert pool_of().resilver_page(0, 0) == -1
+
+
+class TestClients:
+    def test_client_carries_home(self):
+        pool = pool_of(policy="locality")
+        client = pool.client("t0", home=2)
+        slot = client.alloc_slot()
+        assert node_index(pool, slot) == 2
+        offset = client.slot_offset(slot)
+        client.write_bytes(offset, b"z" * 16)
+        assert client.read_bytes(offset, 16) == b"z" * 16
+        assert client.node_of(offset) == 2
+        client.free_slot(slot)
+        assert pool.free_slots == pool.total_slots
+
+    def test_client_cached_and_home_pinned(self):
+        pool = pool_of()
+        first = pool.client("t0", home=1)
+        assert pool.client("t0", home=1) is first
+        with pytest.raises(ValueError, match="already registered"):
+            pool.client("t0", home=2)
+
+    def test_bad_home(self):
+        with pytest.raises(ValueError, match="no memory node"):
+            pool_of(nodes=2).client("t0", home=2)
+
+    def test_clients_gauge(self):
+        pool = pool_of()
+        pool.client("a", 0)
+        pool.client("b", 1)
+        assert pool.registry.snapshot().counters["pool.clients"] == 2.0
+
+
+class TestPlacementMetrics:
+    def test_stranding_under_locality(self):
+        pool = pool_of(nodes=2, slots=8, policy="locality")
+        for _ in range(8):
+            pool.alloc_for(0)
+        # Node 0 exhausted, node 1 idle: its free space is stranded.
+        assert pool.stranded_slots == 8
+        assert pool.frag_imbalance == pytest.approx(1.0)
+
+    def test_balanced_pool_strands_nothing(self):
+        pool = pool_of(nodes=2, slots=8, policy="load")
+        for _ in range(8):
+            pool.alloc_for(0)
+        assert pool.stranded_slots == 0
+        assert pool.frag_imbalance == 0.0
+
+    def test_metric_names(self):
+        pool = pool_of(nodes=2)
+        snap = pool.registry.snapshot()
+        for name in ("pool.alloc", "pool.free", "pool.spills",
+                     "pool.stranded_slots", "pool.frag_imbalance",
+                     "pool.clients", "pool.n0.free_slots",
+                     "pool.n1.free_slots"):
+            assert name in snap.counters
+
+
+class TestBackendSpec:
+    def test_pool_spec_builds(self):
+        pool = make_backend("pool:4/locality", 16 * MIB)
+        assert isinstance(pool, PooledMemory)
+        assert len(pool.nodes) == 4
+        assert pool.policy.name == "locality"
+        assert pool.capacity >= 16 * MIB
+
+    def test_default_policy_is_load(self):
+        assert make_backend("pool:2", 8 * MIB).policy.name == "load"
+        assert make_backend("pool", 8 * MIB).policy.name == "load"
+
+    def test_bad_specs(self):
+        for bad in ("pool:x", "pool:0", "pool:2/random"):
+            with pytest.raises(ValueError):
+                make_backend(bad, 8 * MIB)
+
+    def test_equal_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            PooledMemory([MemoryNode(2 * PAGE_SIZE),
+                          MemoryNode(4 * PAGE_SIZE)])

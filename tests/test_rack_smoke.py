@@ -1,0 +1,21 @@
+"""Wire ``scripts/rack_smoke.py`` into the suite: the documented rack
+reproduction (placement-policy tradeoff under ToR oversubscription,
+stranding under uneven striping, byte-identical parallel sweep) must
+pass end to end, exactly as CI runs it."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.mark.slow
+def test_rack_smoke():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import rack_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert rack_smoke.main() == 0

@@ -60,7 +60,7 @@ class TestKernelRegistry:
 class TestBackendRegistry:
     def test_registered_kinds(self):
         assert set(backend_kinds()) == {"node", "sharded", "replicated",
-                                        "parity"}
+                                        "parity", "pool"}
 
     def test_node_backend(self):
         backend = make_backend("node", 8 * MIB)
