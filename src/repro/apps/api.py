@@ -89,6 +89,7 @@ ServiceFactory = Callable[..., Service]
 
 #: Modules that self-register built-in services on import.
 _BUILTIN_MODULES: Dict[str, str] = {
+    "kv": "repro.apps.kvstore",
     "llm": "repro.apps.llm",
     "redis": "repro.apps.redis.service",
     "taxi": "repro.apps.dataframe",

@@ -730,6 +730,71 @@ def cmd_repair(args) -> int:
     return 0
 
 
+def cmd_kv(args) -> int:
+    """Run the replicated KV failover preset: two KV tenants over a
+    redundant backend with a lossy wire, the lease-holding member killed
+    mid-run and rejoined while serving continues. Prints the serving
+    tail plus the availability/consistency ledger; the run replays once
+    and any digest drift is a determinism failure."""
+    from repro.harness.scenarios import kv_failover
+
+    def one():
+        return kv_failover(backend=args.backend, kind=args.system,
+                           requests=args.requests, lease_us=args.lease_us,
+                           kill_at_us=args.kill_at,
+                           rejoin_at_us=args.rejoin_at)
+
+    try:
+        cluster, report = one()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snap = cluster.metrics()
+    lost = int(snap.value("kv.lost_updates"))
+    print(f"kv over {args.backend} ({args.system}): "
+          f"{report.completed}/{report.offered} requests, "
+          f"{int(snap.value('kv.failovers'))} failovers, "
+          f"{lost} lost updates")
+    print(format_table("serving tail", ["metric", "value"], [
+        ["offered", report.offered],
+        ["completed", report.completed],
+        ["p50 latency (us)", f"{report.latency.get('p50', 0.0):.2f}"],
+        ["p99 latency (us)", f"{report.latency.get('p99', 0.0):.2f}"],
+        ["goodput rps", f"{report.goodput_rps:,.0f}"],
+    ]))
+    print(format_table("availability / consistency", ["metric", "value"], [
+        ["gets / sets / deletes",
+         f"{int(snap.value('kv.gets'))} / {int(snap.value('kv.sets'))} / "
+         f"{int(snap.value('kv.deletes'))}"],
+        ["failovers", int(snap.value("kv.failovers"))],
+        ["failover latency (us)", int(snap.value("kv.failover_us"))],
+        ["unavailability (us)", int(snap.value("kv.unavail_us"))],
+        ["rejects while unavailable", int(snap.value("kv.unavail_rejects"))],
+        ["rejected writes", int(snap.value("kv.rejected_writes"))],
+        ["lease renewals", int(snap.value("kv.lease_renewals"))],
+        ["stale candidates skipped",
+         int(snap.value("kv.stale_candidates_skipped"))],
+        ["pages resilvered", int(snap.value("repair.pages_resilvered"))],
+        ["lost updates", lost],
+    ]))
+    print(f"request-trace digest: {report.trace_digest}")
+    print(f"metrics digest: {snap.digest()}")
+    if lost:
+        print("error: lost updates detected — acknowledged writes were "
+              "not durable across the failover", file=sys.stderr)
+        return 1
+    if not args.once:
+        repeat_cluster, repeat = one()
+        if (repeat.trace_digest != report.trace_digest
+                or repeat_cluster.metrics().digest() != snap.digest()):
+            print("error: determinism drift — the repeated run produced a "
+                  "different request trace or metrics digest",
+                  file=sys.stderr)
+            return 1
+        print("determinism: OK (two runs, identical digests)")
+    return 0
+
+
 def cmd_rack(args) -> int:
     """Run one rack-scale serving pass: tenants striped over an explicit
     topology (per-link bandwidth, ToR oversubscription) drawing pages
@@ -944,6 +1009,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="skip the determinism re-run (faster, ungated)")
     p.set_defaults(func=cmd_rack)
+
+    p = sub.add_parser(
+        "kv",
+        help="replicated KV failover: lease election, kill + resilver")
+    p.add_argument("--system", default="dilos-readahead",
+                   choices=SYSTEM_KINDS)
+    p.add_argument("--backend", default="replicated:3", metavar="SPEC",
+                   type=_backend_spec,
+                   help="redundant backend: replicated:N or parity:K+1 "
+                        "(default: replicated:3)")
+    p.add_argument("--requests", type=int, default=700,
+                   help="open-loop requests offered across the tenants")
+    p.add_argument("--lease-us", type=float, default=120.0,
+                   help="primary lease length in simulated us")
+    p.add_argument("--kill-at", type=float, default=500.0, metavar="US",
+                   help="simulated time at which the lease holder dies")
+    p.add_argument("--rejoin-at", type=float, default=800.0, metavar="US",
+                   help="simulated time at which the dead member rejoins")
+    p.add_argument("--once", action="store_true",
+                   help="skip the determinism re-run (faster, ungated)")
+    p.set_defaults(func=cmd_kv)
 
     p = sub.add_parser(
         "repair",

@@ -255,6 +255,16 @@ def _rack_redis_pool() -> PerfRun:
                    cluster.metrics().digest())
 
 
+def _kv_get_replicated() -> PerfRun:
+    """App-level: the replicated KV service under its chaos schedule
+    (lossy wire, lease-holder kill, rejoin + resilver at serving load)."""
+    from repro.harness.scenarios import kv_failover
+
+    cluster, report = kv_failover(requests=400)
+    return PerfRun(cluster.clock.now, report.completed,
+                   cluster.metrics().digest())
+
+
 CASES: List[PerfCase] = [
     PerfCase("seqread_dilos",
              "DiLOS resident 4 MiB sequential read (TLB-hit fast path)",
@@ -292,6 +302,9 @@ CASES: List[PerfCase] = [
     PerfCase("rack_redis_pool",
              "8 redis tenants served over a pooled 4:1-oversubscribed rack",
              _rack_redis_pool),
+    PerfCase("kv_get_replicated",
+             "replicated KV service surviving a lease-holder kill + resilver",
+             _kv_get_replicated),
 ]
 
 

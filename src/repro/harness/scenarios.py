@@ -371,6 +371,53 @@ def llm_flash_crowd(backend: BackendSpec = "sharded:2",
     return cluster
 
 
+def kv_failover(backend: BackendSpec = "replicated:3",
+                kind: str = "dilos-readahead",
+                requests: int = 700,
+                lease_us: float = 120.0,
+                kill_at_us: float = 500.0,
+                rejoin_at_us: float = 800.0):
+    """The full chaos suite against the replicated KV service.
+
+    Two KV tenants serve an open-loop Poisson stream over one redundant
+    backend while the fault schedule runs: lossy replication wire
+    (seeded drop + corrupt), the lease holder killed mid-run, then
+    rejoined so the paced background resilver replays its journal under
+    load. The lease gates requests while the holder's death is fresh
+    (``kv.unavail_rejects``), failover elects a clean member once the
+    lease lapses, and the end-of-run :meth:`verify` audit folds any lost
+    update into the digest — the acceptance criterion is that
+    ``kv.lost_updates`` reads 0 and the whole run (trace digest, final
+    clock, merged metrics) is byte-identical across repeats.
+
+    Returns ``(cluster, report)``.
+    """
+    serve = (f"poisson:rate=30k,clients=50k,slo=4ms,requests={requests},"
+             "seed=37,balance=least")
+    cluster = ComputeCluster(backend=backend, remote_mem_bytes=32 * MIB,
+                             repair="resilver_period=100,resilver_batch=32",
+                             serve=serve)
+    spec = _spec(kind, 256 * KIB)
+    for name in ("kv1", "kv2"):
+        cluster.add_service(name, spec, "kv", n_keys=48, value_bytes=160,
+                            skew=0.9, write_fraction=0.35, seed=41,
+                            lease_us=lease_us,
+                            net_faults="drop=0.002,corrupt=0.001,seed=97")
+    victim = cluster.backend.member_nodes()[0]
+    # Timers fire as the shared busy clock passes their deadlines while
+    # handlers charge work, so the kill lands mid-write-burst and the
+    # rejoin leaves the resilver running under serving load.
+    cluster.clock.call_at(kill_at_us, victim.fail)
+    cluster.clock.call_at(rejoin_at_us,
+                          lambda: cluster.backend.rejoin(victim))
+    report = cluster.serve()
+    for tenant in cluster.tenants:
+        service = tenant.extra.get("service")
+        if service is not None and hasattr(service, "verify"):
+            service.verify()
+    return cluster, report
+
+
 #: name -> (description, builder, naive-contrast overrides, contrast label)
 SERVE_SCENARIOS: Dict[str, Tuple[str, ScenarioBuilder,
                                  Dict[str, Any], str]] = {
@@ -454,6 +501,7 @@ __all__ = [
     "build_serve_scenario",
     "flash_crowd",
     "hot_key_skew",
+    "kv_failover",
     "llm_flash_crowd",
     "repair_demo",
     "kmeans_redis",

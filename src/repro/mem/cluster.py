@@ -100,6 +100,15 @@ class _ClusterBackend:
         """Every member node, indexed by member key."""
         raise NotImplementedError
 
+    def member_nodes(self) -> List[MemoryNode]:
+        """Every member node, indexed by member key (public copy)."""
+        return list(self._member_nodes())
+
+    def live_members(self) -> List[int]:
+        """Member keys of nodes currently up (failed ones excluded)."""
+        return [member for member, node in enumerate(self._member_nodes())
+                if not node.failed]
+
     # -- redundancy state ----------------------------------------------------
 
     @property
@@ -148,7 +157,21 @@ class _ClusterBackend:
         continues in the background.
         """
         member = self._resolve_member(node)
-        self._member_nodes()[member].recover()
+        target = self._member_nodes()[member]
+        if not target.failed:
+            if member in self._syncing:
+                # Idempotent re-entry: the member is already back and
+                # mid-resilver. Don't re-count the rejoin or re-notify
+                # the manager (which would restart its sync clock); with
+                # no manager, just retry the synchronous fallback.
+                if self.repair is not None:
+                    return False
+                return self._resilver_member_now(member)
+            if self.journal.dirty_count(member) == 0:
+                return True  # already in full service — nothing to do
+            # Recovered out-of-band with stale ranges: genuine rejoin.
+        else:
+            target.recover()
         self.counters.add("rejoins")
         if self.journal.dirty_count(member) == 0:
             return True
@@ -159,10 +182,20 @@ class _ClusterBackend:
         return self._resilver_member_now(member)
 
     def promote(self, member: int) -> None:
-        """A syncing member drained its journal: full service again."""
-        if member in self._syncing:
-            self._syncing.discard(member)
-            self.registry.add("repair.nodes_promoted")
+        """A syncing member drained its journal: full service again.
+
+        Refused while the member still holds journaled stale ranges —
+        promoting it early would drop it from ``_syncing`` while dirty,
+        so the background resilver (which iterates ``syncing_members()``)
+        would orphan its journal and the member would serve from the
+        journal-protected degraded path forever."""
+        if member not in self._syncing:
+            return
+        if self.journal.dirty_count(member) > 0:
+            self.registry.add("repair.premature_promotes")
+            return
+        self._syncing.discard(member)
+        self.registry.add("repair.nodes_promoted")
 
     def _resilver_member_now(self, member: int) -> bool:
         """Synchronous fallback resilver (no manager attached): replay

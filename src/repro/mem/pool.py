@@ -38,7 +38,7 @@ spread) gauges.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.common.errors import OutOfMemoryError
 from repro.common.units import PAGE_SHIFT, PAGE_SIZE
@@ -183,7 +183,7 @@ class PoolClient:
     # -- slots (placement-aware) -----------------------------------------
 
     def alloc_slot(self) -> int:
-        return self.pool.alloc_for(self.home)
+        return self.pool.alloc_for(self.home, owner=self.name)
 
     def free_slot(self, slot: int) -> None:
         self.pool.free_slot(slot)
@@ -236,6 +236,11 @@ class PooledMemory(_ClusterBackend):
         self.node_slots = self.nodes[0].total_slots
         self._node_bytes = self.node_slots << PAGE_SHIFT
         self._clients: Dict[str, PoolClient] = {}
+        # Slot ownership: which client (by name) holds each live slot, so
+        # a departing tenant's slots can all be returned. Anonymous
+        # allocations (owner=None) are untracked, as before.
+        self._slot_owner: Dict[int, str] = {}
+        self._owned: Dict[str, Set[int]] = {}
         super().__init__()
         self.registry.counter("pool.alloc")
         self.registry.counter("pool.free")
@@ -306,16 +311,51 @@ class PooledMemory(_ClusterBackend):
         self._clients[name] = made
         return made
 
+    def release_client(self, name: str) -> int:
+        """Tear down a tenant: free every slot it still owns.
+
+        A departed tenant that never freed its pages would otherwise
+        strand capacity forever (and ``pool.stranded_slots`` drifts
+        upward across tenant churn, since the leaked slots concentrate
+        on whichever nodes the policy favored). Removes the cached
+        :class:`PoolClient` and returns the number of slots reclaimed.
+        Raises ``KeyError`` for an unknown client name.
+        """
+        client = self._clients.pop(name, None)
+        owned = self._owned.pop(name, None)
+        if client is None and owned is None:
+            raise KeyError(f"no pool client {name!r}")
+        freed = 0
+        for global_slot in sorted(owned or ()):
+            self._slot_owner.pop(global_slot, None)
+            node_index, local = divmod(global_slot, self.node_slots)
+            self.nodes[node_index].free_slot(local)
+            self.registry.add("pool.free")
+            freed += 1
+        if freed:
+            # Lazily registered: steady-state pools (no churn) keep their
+            # historical metric key set, so pinned digests stay valid.
+            self.registry.add("pool.reclaimed_slots", freed)
+        return freed
+
     # -- slots -------------------------------------------------------------
 
-    def alloc_for(self, home: int) -> int:
-        """Allocate one page slot for a requester homed on ``home``."""
+    def alloc_for(self, home: int, owner: Optional[str] = None) -> int:
+        """Allocate one page slot for a requester homed on ``home``.
+
+        ``owner`` (a client name) records ownership so
+        :meth:`release_client` can return the slot if the tenant departs
+        without freeing it."""
         node_index = self.policy.choose(self, home)
         local = self.nodes[node_index].alloc_slot()
         self.registry.add("pool.alloc")
         if self.policy.prefers_home and node_index != home:
             self.registry.add("pool.spills")
-        return node_index * self.node_slots + local
+        global_slot = node_index * self.node_slots + local
+        if owner is not None:
+            self._slot_owner[global_slot] = owner
+            self._owned.setdefault(owner, set()).add(global_slot)
+        return global_slot
 
     def alloc_slot(self) -> int:
         """Anonymous allocation (no client identity): home node 0."""
@@ -324,6 +364,13 @@ class PooledMemory(_ClusterBackend):
     def free_slot(self, global_slot: int) -> None:
         node_index, local = divmod(global_slot, self.node_slots)
         self.nodes[node_index].free_slot(local)
+        owner = self._slot_owner.pop(global_slot, None)
+        if owner is not None:
+            owned = self._owned.get(owner)
+            if owned is not None:
+                owned.discard(global_slot)
+                if not owned:
+                    del self._owned[owner]
         self.registry.add("pool.free")
 
     def slot_offset(self, global_slot: int) -> int:

@@ -99,6 +99,22 @@ class TestCommands:
         assert main(["repair", "--backend", "sharded:2"]) == 2
         assert "redundant" in capsys.readouterr().err
 
+    def test_kv_failover_preset(self, capsys):
+        assert main(["kv", "--requests", "300", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "availability / consistency" in out
+        assert "0 lost updates" in out
+        assert "failovers" in out
+        assert "metrics digest" in out
+
+    def test_kv_determinism_gate(self, capsys):
+        assert main(["kv", "--requests", "200"]) == 0
+        assert "determinism: OK" in capsys.readouterr().out
+
+    def test_kv_rejects_non_redundant_backend(self, capsys):
+        assert main(["kv", "--backend", "sharded:2", "--once"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
 
 class TestLlmCommands:
     def test_llm_single_node(self, capsys):

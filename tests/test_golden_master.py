@@ -80,6 +80,12 @@ GOLDEN = {
     "llm_dilos_batch": (
         "5c2712afaa8e365d5c16c9c60a3759f9c31db2523afc6698f165dc924d5667a9",
         106.2514086956507),
+    # The replicated KV service under the full chaos schedule (lossy
+    # wire, lease-holder kill, rejoin + background resilver at serving
+    # load); the digest includes the end-of-run lost-update audit.
+    "kv_failover": (
+        "69916c60cde3dfb0b14a49af9278085817846c0d68ebc85aa35095375ac6b507",
+        1006.9989255652341),
 }
 
 
@@ -159,6 +165,13 @@ def _run_llm(kind: str, backend: str = "node"):
     return system
 
 
+def _run_kv_failover():
+    from repro.harness.scenarios import kv_failover
+
+    cluster, _report = kv_failover()
+    return cluster
+
+
 def _forced(builder, batch_on: bool):
     """Pin ``builder`` to one execution engine: the ``*_batch`` scenarios
     force the vectorized span path, their scalar counterparts force the
@@ -190,6 +203,7 @@ SCENARIOS = {
     "llm_dilos_sharded":
         lambda: _run_llm("dilos-readahead", backend="sharded:2"),
     "llm_dilos_batch": _forced(lambda: _run_llm("dilos-readahead"), True),
+    "kv_failover": _run_kv_failover,
 }
 
 

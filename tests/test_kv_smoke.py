@@ -1,0 +1,23 @@
+"""Wire ``scripts/kv_chaos_smoke.py`` into the suite: the documented KV
+failover reproduction (lease-holder kill under open-loop load, blackout
+rejects, bounded failover latency, rejoin + resilver to promotion, zero
+lost updates, same-config determinism on both redundant backends) must
+pass end to end, exactly as a user would run it."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+pytestmark = pytest.mark.slow
+
+
+def test_kv_chaos_smoke():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import kv_chaos_smoke
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    assert kv_chaos_smoke.main() == 0

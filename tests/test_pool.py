@@ -169,6 +169,64 @@ class TestClients:
         assert pool.registry.snapshot().counters["pool.clients"] == 2.0
 
 
+class TestTenantTeardown:
+    """Regression: a departing homed client must return ALL its slots.
+
+    Before the fix the pool had no record of which client held which
+    slot, so a tenant that exited without freeing leaked its pages
+    forever — and because homed allocations concentrate on the policy's
+    favored nodes, ``pool.stranded_slots`` drifted upward with every
+    tenant generation until the home node wedged.
+    """
+
+    def test_release_client_returns_all_slots(self):
+        pool = pool_of(nodes=2, slots=8, policy="locality")
+        client = pool.client("t0", home=0)
+        slots = [client.alloc_slot() for _ in range(5)]
+        client.free_slot(slots[0])  # tenant freed one itself
+        freed = pool.release_client("t0")
+        assert freed == 4
+        assert pool.free_slots == pool.total_slots
+        snap = pool.registry.snapshot()
+        assert snap.counters["pool.reclaimed_slots"] == 4
+        assert snap.counters["pool.free"] == 5
+
+    def test_stranded_slots_do_not_drift_across_churn(self):
+        pool = pool_of(nodes=2, slots=8, policy="locality")
+        stranded = []
+        for gen in range(6):
+            name = f"tenant{gen}"
+            client = pool.client(name, home=0)
+            for _ in range(4):
+                client.alloc_slot()
+            pool.release_client(name)
+            stranded.append(pool.stranded_slots)
+        # Red case: generation g left 4*g slots leaked on node 0, so
+        # stranded_slots climbed 4, 8, ... and gen 2+ spilled or OOMed.
+        assert stranded == [0] * 6
+        assert pool.free_slots == pool.total_slots
+        assert pool.registry.snapshot().counters["pool.clients"] == 0.0
+
+    def test_release_unknown_client_raises(self):
+        with pytest.raises(KeyError, match="ghost"):
+            pool_of().release_client("ghost")
+
+    def test_release_allows_name_and_home_reuse(self):
+        pool = pool_of()
+        pool.client("t0", home=0)
+        pool.release_client("t0")
+        assert pool.client("t0", home=1).home == 1
+
+    def test_anonymous_allocations_unaffected(self):
+        pool = pool_of(nodes=2, slots=4)
+        anon = pool.alloc_slot()
+        pool.client("t0", home=0).alloc_slot()
+        pool.release_client("t0")
+        assert pool.free_slots == pool.total_slots - 1
+        pool.free_slot(anon)
+        assert pool.free_slots == pool.total_slots
+
+
 class TestPlacementMetrics:
     def test_stranding_under_locality(self):
         pool = pool_of(nodes=2, slots=8, policy="locality")

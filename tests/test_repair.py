@@ -483,6 +483,140 @@ class TestShardedRejoin:
         assert backend.scrub_extent == 0
 
 
+class TestRejoinIdempotency:
+    """Regression: ``rejoin()`` on a member already resilvering must be
+    idempotent.
+
+    Before the fix a second ``rejoin()`` mid-resilver re-counted the
+    rejoin and re-notified the manager; an impatient caller (or a
+    flapping health checker firing rejoin on every probe) inflated
+    ``cluster.rejoins`` and could re-arm the resilver clock. Pinned
+    ``repair.*`` metrics prove the journal is replayed exactly once.
+    """
+
+    def test_double_rejoin_mid_resilver_pins_repair_metrics(self):
+        nodes = make_nodes(2)
+        backend = ReplicatedMemory(nodes)
+        clock = Clock()
+        manager = RepairManager(backend, clock,
+                                policy="resilver_period=100,resilver_batch=2")
+        for page in range(8):
+            backend.write_bytes(page * PAGE_SIZE, b"A" * PAGE_SIZE)
+        nodes[1].fail()
+        for page in range(8):
+            backend.write_bytes(page * PAGE_SIZE, bytes([page]) * PAGE_SIZE)
+        assert backend.rejoin(nodes[1]) is False
+        clock.advance(100)  # mid-resilver: 6 of 8 pages still stale
+        assert backend.stale_slots == 6
+        started = dict(manager._sync_started)
+        # The impatient re-entry: still syncing, answer is still False,
+        # and nothing is re-counted or re-armed.
+        assert backend.rejoin(nodes[1]) is False
+        assert backend.rejoin(1) is False
+        assert backend.syncing_members() == [1]
+        assert backend.counters.get("rejoins") == 1
+        assert manager._sync_started == started  # sync clock not reset
+        clock.advance(400)
+        assert backend.stale_slots == 0
+        # Pinned: exactly one replay of the 8-page journal, one promote.
+        assert backend.registry.value("repair.pages_resilvered") == 8
+        assert backend.registry.value("repair.bytes_resilvered") == \
+            8 * PAGE_SIZE
+        assert backend.registry.value("repair.nodes_promoted") == 1
+        assert backend.counters.get("rejoins") == 1
+        assert manager._sync_started == {}
+
+    def test_rejoin_on_healthy_clean_member_is_a_noop(self):
+        nodes = make_nodes(2)
+        backend = ReplicatedMemory(nodes)
+        backend.write_bytes(0, b"A" * PAGE_SIZE)
+        assert backend.rejoin(nodes[1]) is True
+        assert backend.counters.get("rejoins") == 0
+
+    def test_double_rejoin_without_manager_retries_fallback_only(self):
+        """No manager: the sync fallback can stall (no clean source);
+        re-invoking rejoin retries it without re-counting."""
+        nodes = make_nodes(2)
+        backend = ReplicatedMemory(nodes)
+        backend.write_bytes(0, b"A" * PAGE_SIZE)
+        nodes[1].fail()
+        backend.write_bytes(0, b"B" * PAGE_SIZE)
+        nodes[0].fail()  # the only clean source is down
+        nodes[1].recover()
+        assert backend.rejoin(nodes[1]) is False  # stalled, still syncing
+        assert backend.syncing_members() == [1]
+        assert backend.rejoin(nodes[1]) is False  # idempotent retry
+        assert backend.counters.get("rejoins") == 1
+        nodes[0].recover()
+        assert backend.rejoin(nodes[1]) is True  # retry now succeeds
+        assert backend.counters.get("rejoins") == 1
+        assert backend.stale_slots == 0
+        nodes[0].fail()
+        assert backend.read_bytes(0, 64) == b"B" * 64
+
+
+class TestPrematurePromote:
+    """Regression: ``promote()`` while the member's journal is still
+    dirty must be refused.
+
+    Before the fix an early promote dropped the member from the syncing
+    set while it still held stale pages. The background resilver
+    iterates ``syncing_members()``, so the member's journal was orphaned:
+    ``stale_slots`` stuck forever, the backend stayed degraded, and the
+    manager's ``_sync_started`` entry (its per-member resilver QP
+    bookkeeping) leaked. Reads were always journal-protected — asserted
+    here too — the lost invariant was repair-progress, not safety.
+    """
+
+    def test_promote_refused_while_dirty_then_resilver_completes(self):
+        nodes = make_nodes(2)
+        backend = ReplicatedMemory(nodes)
+        clock = Clock()
+        manager = RepairManager(backend, clock,
+                                policy="resilver_period=100,resilver_batch=2")
+        for page in range(8):
+            backend.write_bytes(page * PAGE_SIZE, b"A" * PAGE_SIZE)
+        nodes[1].fail()
+        for page in range(8):
+            backend.write_bytes(page * PAGE_SIZE, bytes([page]) * PAGE_SIZE)
+        backend.rejoin(nodes[1])
+        clock.advance(100)
+        assert backend.stale_slots == 6
+        backend.promote(1)  # chaos: promoted mid-resilver
+        # Refused: still syncing, counted as a premature promote.
+        assert backend.syncing_members() == [1]
+        assert backend.registry.value("repair.premature_promotes") == 1
+        assert backend.registry.value("repair.nodes_promoted") == 0
+        # Reads still avoid the syncing member's stale ranges.
+        assert backend.read_bytes(0, 32) == bytes([0]) * 32
+        # The resilver was NOT orphaned: the journal drains and the
+        # member is promoted exactly once, with no leaked bookkeeping.
+        clock.advance(400)
+        assert backend.stale_slots == 0
+        assert backend.syncing_members() == []
+        assert backend.registry.value("repair.nodes_promoted") == 1
+        assert backend.registry.value("repair.pages_resilvered") == 8
+        assert manager._sync_started == {}
+        nodes[0].fail()
+        for page in range(8):
+            assert backend.read_bytes(page * PAGE_SIZE, 32) == \
+                bytes([page]) * 32
+
+    def test_promote_counter_not_preregistered(self):
+        """Digest safety: the premature-promote counter is lazy, so
+        healthy runs keep their historical metric key set."""
+        backend = ReplicatedMemory(make_nodes(2))
+        assert "repair.premature_promotes" not in \
+            backend.metrics().counters
+
+    def test_promote_of_non_syncing_member_still_a_noop(self):
+        backend = ReplicatedMemory(make_nodes(2))
+        backend.promote(0)
+        assert backend.registry.value("repair.nodes_promoted") == 0
+        assert "repair.premature_promotes" not in \
+            backend.metrics().counters
+
+
 class TestMetricsAndWiring:
     def test_counters_are_canonical_with_legacy_aliases(self):
         nodes = make_nodes(2)
